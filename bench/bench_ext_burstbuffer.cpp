@@ -1,0 +1,74 @@
+// EXTENSION bench: why relaxed semantics matter — the performance story.
+// The paper's premise (Sections 1-3) is that PFSs with weaker semantics
+// exist because they are *faster*, provided applications tolerate them.
+// This bench runs the same checkpoint-heavy workloads on three backends:
+//
+//   strong  — the POSIX-semantics PFS with its distributed-lock traffic
+//   commit  — the same PFS hardware, locks disabled (relaxed semantics)
+//   burst   — the node-local burst-buffer tier with commit semantics
+//             (UnifyFS/BurstFS class, only *possible* because the
+//             applications tolerate commit semantics)
+//
+// and reports total simulated run time. The advisor's Table-4 verdicts say
+// which applications may run on `commit`/`burst` at all; this bench shows
+// what they gain by doing so.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pfsem/vfs/burst_buffer.hpp"
+
+namespace {
+
+using namespace pfsem;
+
+double run_seconds(const apps::AppInfo& info,
+                   std::unique_ptr<vfs::FileSystem> fs) {
+  apps::AppConfig cfg = bench::paper_scale();
+  apps::Harness h(cfg, std::move(fs));
+  info.run(h);
+  return to_seconds(h.engine().now());
+}
+
+double run_seconds(const apps::AppInfo& info, vfs::ConsistencyModel model) {
+  vfs::PfsConfig cfg;
+  cfg.model = model;
+  return run_seconds(info, std::make_unique<vfs::Pfs>(cfg));
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Extension: simulated run time by backend (strong PFS vs relaxed PFS "
+      "vs burst buffer)");
+  Table t({"Configuration", "strong PFS (s)", "commit PFS (s)",
+           "burst buffer (s)", "BB speedup vs strong", "BB-safe?"});
+  bool ok = true;
+  for (const char* name :
+       {"pF3D-IO", "HACC-IO POSIX", "FLASH-fbs", "NWChem", "VPIC-IO"}) {
+    const auto* info = apps::find_app(name);
+    const double strong = run_seconds(*info, vfs::ConsistencyModel::Strong);
+    const double commit = run_seconds(*info, vfs::ConsistencyModel::Commit);
+    vfs::BurstBufferConfig bb_cfg;
+    bb_cfg.ranks_per_node = bench::paper_scale().ranks_per_node;
+    const double burst =
+        run_seconds(*info, std::make_unique<vfs::BurstBufferPfs>(bb_cfg));
+    // Is the app safe on a commit-semantics system? (Table 4 verdict.)
+    const bool safe = !info->expect.raw_d || info->expect.commit_clears;
+    t.add_row({name, fmt(strong, 3), fmt(commit, 3), fmt(burst, 3),
+               fmt(strong / burst, 2) + "x", safe ? "yes" : "no"});
+    ok &= burst < strong;
+    ok &= commit <= strong + 1e-9;
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nThe burst buffer (node-local writes + commit-time index "
+         "publish) beats the strong-semantics PFS on every checkpoint "
+         "workload — and per Table 4 these applications all tolerate the "
+         "commit semantics it provides. This closes the paper's loop: the "
+         "semantics applications *need* (weak) matches the semantics fast "
+         "storage tiers *offer*. "
+      << (ok ? "SHAPE OK\n" : "SHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

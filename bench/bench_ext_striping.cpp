@@ -1,0 +1,114 @@
+// EXTENSION bench: striping-layout interactions. The paper's Section 2.1
+// notes PFSs stripe file data across data servers; how an application's
+// access pattern lines up with the stripe layout decides OST request
+// counts and balance. Classic results reproduced on the simulated PFS:
+// stripe-aligned N-1 writes touch one OST per request, misaligned writes
+// double the RPC count, and tiny strided records spray requests across
+// every OST.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pfsem/trace/record.hpp"
+#include "pfsem/vfs/pfs.hpp"
+
+namespace {
+
+using namespace pfsem;
+
+struct Scenario {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t max_ost = 0, min_ost = 0;
+  std::uint64_t revocations = 0;
+  double cost_ms = 0;
+};
+
+Scenario run_case(const std::string& name, Offset op_size, Offset op_stride,
+                  Offset base_offset, bool file_per_process) {
+  constexpr int kRanks = 16;
+  constexpr int kRounds = 8;
+  vfs::PfsConfig cfg;
+  // Strong (POSIX) semantics with the lock granularity equal to the
+  // stripe size, Lustre-style: misaligned accesses share lock blocks with
+  // their neighbours and ping-pong the extents.
+  cfg.model = vfs::ConsistencyModel::Strong;
+  cfg.stripe_count = 8;
+  cfg.stripe_size = 1 << 20;
+  cfg.lock_block = 1 << 20;
+  vfs::Pfs fs(cfg);
+
+  std::vector<int> fds;
+  for (Rank r = 0; r < kRanks; ++r) {
+    const std::string path =
+        file_per_process ? "out." + std::to_string(r) : "shared";
+    fds.push_back(fs.open(r, path, trace::kCreate | trace::kWrOnly, 0).fd);
+  }
+  SimTime t = 0;
+  SimDuration cost = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (Rank r = 0; r < kRanks; ++r) {
+      const Offset off = base_offset +
+                         static_cast<Offset>(r) * op_stride +
+                         static_cast<Offset>(round) * op_stride * kRanks;
+      cost += fs.pwrite(r, fds[static_cast<std::size_t>(r)], off, op_size,
+                        t += 10)
+                  .cost;
+    }
+  }
+  Scenario s;
+  s.name = name;
+  const auto& osts = fs.ost_stats();
+  for (auto q : osts.requests) s.requests += q;
+  s.max_ost = *std::max_element(osts.bytes.begin(), osts.bytes.end());
+  s.min_ost = *std::min_element(osts.bytes.begin(), osts.bytes.end());
+  s.revocations = fs.lock_stats().revocations;
+  s.cost_ms = static_cast<double>(cost) * 1e-6;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Extension: stripe layout vs access pattern (8 OSTs, 1 MiB stripes)");
+  const Offset mib = 1 << 20;
+  std::vector<Scenario> rows;
+  rows.push_back(run_case("N-1 aligned (1MiB at k*1MiB)", mib, mib, 0, false));
+  rows.push_back(
+      run_case("N-1 misaligned (1MiB at k*1MiB+512K)", mib, mib, 512 * 1024,
+               false));
+  rows.push_back(
+      run_case("N-1 small strided (64KiB records)", 64 * 1024, 64 * 1024, 0,
+               false));
+  rows.push_back(run_case("file-per-process (1MiB appends)", mib, mib, 0, true));
+
+  Table t({"scenario", "OST requests", "lock revocations", "max OST bytes",
+           "min OST bytes", "sim cost (ms)"});
+  for (const auto& s : rows) {
+    t.add_row({s.name, std::to_string(s.requests),
+               std::to_string(s.revocations), std::to_string(s.max_ost),
+               std::to_string(s.min_ost), fmt(s.cost_ms, 2)});
+  }
+  t.print(std::cout);
+
+  const bool ok =
+      // misalignment doubles the OST request count for the same bytes...
+      rows[1].requests >= rows[0].requests * 2 * 9 / 10 &&
+      // ...and, under POSIX semantics, shares lock blocks with the
+      // neighbouring rank: revocation ping-pong the aligned run avoids.
+      rows[1].revocations > rows[0].revocations &&
+      // aligned 1-MiB round-robin keeps OSTs balanced.
+      rows[0].max_ost == rows[0].min_ost &&
+      // file-per-process avoids all lock conflicts.
+      rows[3].revocations == 0;
+  std::cout << "\nAligned accesses touch one OST and one private lock block "
+               "each; misaligned accesses split every request across two "
+               "OSTs (the per-op latency actually *improves* from the "
+               "parallel transfer — the damage is the doubled RPC load and "
+               "the lock-revocation ping-pong with neighbouring ranks, "
+               "which dominate once servers are contended); "
+               "file-per-process avoids lock conflicts entirely. "
+            << (ok ? "SHAPE OK\n" : "SHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Performance bench: Algorithm 1 (sorted sweep) vs the naive O(n^2)
+// baseline, across record counts and overlap densities. Demonstrates the
+// paper's Section 5.1 claim that, sorting aside, the sweep is near-linear
+// on realistic (mostly disjoint) I/O records while the worst case is
+// quadratic.
+
+#include <benchmark/benchmark.h>
+
+#include "pfsem/core/overlap.hpp"
+#include "pfsem/util/rng.hpp"
+
+namespace {
+
+using namespace pfsem;
+
+/// Realistic checkpoint-like records: mostly disjoint per-rank segments
+/// plus a *bounded* number of overlapping metadata rewrites (a file's
+/// header is rewritten once per flush epoch, not once per data block, so
+/// the overlap-cluster size does not grow with the record count — which
+/// is why the paper observes near-linear behaviour in practice).
+std::vector<core::Access> realistic(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::Access> v;
+  v.reserve(n);
+  constexpr std::size_t kHeaderRewrites = 64;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Access a;
+    a.rank = static_cast<Rank>(rng.below(64));
+    a.type = rng.chance(0.8) ? core::AccessType::Write : core::AccessType::Read;
+    a.t = static_cast<SimTime>(i);
+    if (i % std::max<std::size_t>(n / kHeaderRewrites, 1) == 0) {
+      a.ext = {0, 96};  // shared header rewrite
+    } else {
+      const Offset begin = static_cast<Offset>(i) * 70'000;
+      a.ext = {begin, begin + 65'536};
+    }
+    v.push_back(a);
+  }
+  return v;
+}
+
+/// Adversarial: every interval overlaps every other.
+std::vector<core::Access> adversarial(std::size_t n) {
+  std::vector<core::Access> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Access a;
+    a.rank = static_cast<Rank>(i % 64);
+    a.type = core::AccessType::Write;
+    a.ext = {static_cast<Offset>(i), 1'000'000'000};
+    v.push_back(a);
+  }
+  return v;
+}
+
+void BM_Algorithm1_Realistic(benchmark::State& state) {
+  const auto v = realistic(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_overlaps(v));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm1_Realistic)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_Naive_Realistic(benchmark::State& state) {
+  const auto v = realistic(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_overlaps_naive(v));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Naive_Realistic)->Range(1 << 10, 1 << 13)->Complexity();
+
+void BM_Algorithm1_Adversarial(benchmark::State& state) {
+  const auto v = adversarial(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_overlaps(v));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm1_Adversarial)->Range(1 << 8, 1 << 11)->Complexity();
+
+void BM_RankTable(benchmark::State& state) {
+  const auto v = realistic(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::overlap_rank_table(v, 64));
+  }
+}
+BENCHMARK(BM_RankTable)->Range(1 << 10, 1 << 14);
+
+}  // namespace

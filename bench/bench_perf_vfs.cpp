@@ -1,0 +1,139 @@
+// Ablation bench for the PFS models: the cost of strong (POSIX) semantics
+// versus the relaxed models. Measures operation cost (simulated lock
+// traffic is charged as latency) and reports the lock request/revocation
+// counters for shared-file workloads — the Section 3.1 argument that
+// distributed locking makes strong semantics expensive under sharing.
+
+#include <benchmark/benchmark.h>
+
+#include "pfsem/trace/record.hpp"
+#include "pfsem/vfs/pfs.hpp"
+
+namespace {
+
+using namespace pfsem;
+using vfs::ConsistencyModel;
+
+vfs::PfsConfig cfg_for(ConsistencyModel m) {
+  vfs::PfsConfig cfg;
+  cfg.model = m;
+  cfg.lock_block = 1 << 20;
+  return cfg;
+}
+
+/// N ranks interleave 64 KiB writes across a shared file: under strong
+/// semantics adjacent ranks keep stealing each other's block locks.
+void shared_file_contention(benchmark::State& state, ConsistencyModel m) {
+  const int nranks = 16;
+  const std::uint64_t chunk = 64 * 1024;
+  for (auto _ : state) {
+    state.PauseTiming();
+    vfs::Pfs fs(cfg_for(m));
+    std::vector<int> fds;
+    for (Rank r = 0; r < nranks; ++r) {
+      fds.push_back(fs.open(r, "shared", trace::kCreate | trace::kRdWr, 0).fd);
+    }
+    state.ResumeTiming();
+    SimTime t = 0;
+    SimDuration total_cost = 0;
+    for (int round = 0; round < 64; ++round) {
+      for (Rank r = 0; r < nranks; ++r) {
+        // Interleaved offsets: rank r writes round-major so block owners
+        // alternate (worst case for lock caching).
+        const Offset off =
+            (static_cast<Offset>(round) * nranks + static_cast<Offset>(r)) * chunk;
+        total_cost += fs.pwrite(r, fds[static_cast<std::size_t>(r)], off, chunk,
+                                t += 10)
+                          .cost;
+      }
+    }
+    benchmark::DoNotOptimize(total_cost);
+    state.counters["sim_cost_ms"] = static_cast<double>(total_cost) * 1e-6;
+    state.counters["lock_requests"] =
+        static_cast<double>(fs.lock_stats().requests);
+    state.counters["lock_revocations"] =
+        static_cast<double>(fs.lock_stats().revocations);
+  }
+}
+
+void BM_SharedWrite_Strong(benchmark::State& state) {
+  shared_file_contention(state, ConsistencyModel::Strong);
+}
+void BM_SharedWrite_Commit(benchmark::State& state) {
+  shared_file_contention(state, ConsistencyModel::Commit);
+}
+void BM_SharedWrite_Session(benchmark::State& state) {
+  shared_file_contention(state, ConsistencyModel::Session);
+}
+void BM_SharedWrite_Eventual(benchmark::State& state) {
+  shared_file_contention(state, ConsistencyModel::Eventual);
+}
+BENCHMARK(BM_SharedWrite_Strong);
+BENCHMARK(BM_SharedWrite_Commit);
+BENCHMARK(BM_SharedWrite_Session);
+BENCHMARK(BM_SharedWrite_Eventual);
+
+/// False sharing: many small writes inside one lock block ping-ponging
+/// between two ranks — the pathological strong-semantics case the paper's
+/// Section 3.1 describes (small block reads/writes under high sharing).
+void BM_FalseSharing_Strong(benchmark::State& state) {
+  for (auto _ : state) {
+    vfs::Pfs fs(cfg_for(ConsistencyModel::Strong));
+    const int a = fs.open(0, "f", trace::kCreate | trace::kRdWr, 0).fd;
+    const int b = fs.open(1, "f", trace::kRdWr, 0).fd;
+    SimTime t = 0;
+    SimDuration cost = 0;
+    for (int i = 0; i < 1000; ++i) {
+      cost += fs.pwrite(0, a, static_cast<Offset>(i % 64) * 128, 128, t += 10).cost;
+      cost += fs.pwrite(1, b, static_cast<Offset>(i % 64) * 128 + 64, 64, t += 10).cost;
+    }
+    benchmark::DoNotOptimize(cost);
+    state.counters["revocations_per_op"] =
+        static_cast<double>(fs.lock_stats().revocations) / 2000.0;
+    state.counters["sim_cost_ms"] = static_cast<double>(cost) * 1e-6;
+  }
+}
+BENCHMARK(BM_FalseSharing_Strong);
+
+/// Same access pattern on disjoint per-rank regions: locks are acquired
+/// once and reused — strong semantics is cheap without sharing.
+void BM_DisjointRegions_Strong(benchmark::State& state) {
+  for (auto _ : state) {
+    vfs::Pfs fs(cfg_for(ConsistencyModel::Strong));
+    const int a = fs.open(0, "f", trace::kCreate | trace::kRdWr, 0).fd;
+    const int b = fs.open(1, "f", trace::kRdWr, 0).fd;
+    SimTime t = 0;
+    SimDuration cost = 0;
+    for (int i = 0; i < 1000; ++i) {
+      cost += fs.pwrite(0, a, static_cast<Offset>(i % 64) * 128, 128, t += 10).cost;
+      cost += fs.pwrite(1, b, (1 << 21) + static_cast<Offset>(i % 64) * 128, 128,
+                        t += 10)
+                  .cost;
+    }
+    benchmark::DoNotOptimize(cost);
+    state.counters["revocations_per_op"] =
+        static_cast<double>(fs.lock_stats().revocations) / 2000.0;
+    state.counters["sim_cost_ms"] = static_cast<double>(cost) * 1e-6;
+  }
+}
+BENCHMARK(BM_DisjointRegions_Strong);
+
+/// Visibility-resolution read throughput as write history grows.
+void BM_ReadResolution(benchmark::State& state) {
+  vfs::Pfs fs(cfg_for(ConsistencyModel::Commit));
+  const int w = fs.open(0, "f", trace::kCreate | trace::kRdWr, 0).fd;
+  SimTime t = 0;
+  const auto writes = state.range(0);
+  for (std::int64_t i = 0; i < writes; ++i) {
+    (void)fs.pwrite(0, w, static_cast<Offset>(i % 256) * 4096, 4096, t += 10);
+  }
+  fs.fsync(0, w, t += 10);
+  const int r = fs.open(1, "f", trace::kRdOnly, t += 10).fd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.pread(1, r, 0, 256 * 4096, t));
+  }
+  state.SetComplexityN(writes);
+}
+BENCHMARK(BM_ReadResolution)->Range(256, 1 << 14)->Complexity();
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Section 6.1 — scale invariance: the paper ran every application at 64
+// and 1024 ranks and found no difference in the I/O-pattern classes. We
+// sweep 16 / 64 / 256 ranks over a representative subset and compare the
+// Table-3 class and Table-4 conflict classes across scales.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pfsem;
+  using bench::analyze_app;
+
+  const char* names[] = {"FLASH-fbs",  "FLASH-nofbs", "ENZO",
+                         "NWChem",     "LAMMPS-NetCDF", "LAMMPS-ADIOS",
+                         "MACSio",     "MILC-QCD Parallel", "VPIC-IO",
+                         "LBANN"};
+  const int scales[] = {16, 64, 256};
+
+  bench::heading("Scale invariance of pattern & conflict classes");
+  Table t({"Configuration", "ranks", "X-Y", "layout", "session conflicts",
+           "stable"});
+  bool all_stable = true;
+  for (const char* name : names) {
+    const auto* info = apps::find_app(name);
+    std::string base_sig;
+    for (int n : scales) {
+      apps::AppConfig cfg = bench::paper_scale();
+      cfg.nranks = n;
+      cfg.ranks_per_node = std::max(1, n / 8);
+      const auto a = analyze_app(*info, cfg);
+      std::string conflicts;
+      if (a.report.session.waw_s) conflicts += "WAW-S ";
+      if (a.report.session.waw_d) conflicts += "WAW-D ";
+      if (a.report.session.raw_s) conflicts += "RAW-S ";
+      if (a.report.session.raw_d) conflicts += "RAW-D ";
+      if (conflicts.empty()) conflicts = "-";
+      const std::string sig = a.pattern.xy + "|" +
+                              core::to_string(a.pattern.layout) + "|" +
+                              conflicts;
+      const bool stable = base_sig.empty() || sig == base_sig;
+      if (base_sig.empty()) base_sig = sig;
+      all_stable &= stable;
+      t.add_row({name, std::to_string(n), a.pattern.xy,
+                 std::string(core::to_string(a.pattern.layout)), conflicts,
+                 stable ? "yes" : "NO"});
+    }
+  }
+  t.print(std::cout);
+
+  // The paper's exact comparison: 8 nodes x 8 ppn (64 ranks) versus
+  // 32 nodes x 32 ppn (1024 ranks), on a smaller subset for runtime.
+  bench::heading("Paper geometry check: 64 ranks (8x8) vs 1024 ranks (32x32)");
+  Table big({"Configuration", "64-rank signature", "1024-rank signature",
+             "stable"});
+  for (const char* name :
+       {"FLASH-fbs", "LAMMPS-NetCDF", "MILC-QCD Parallel", "LBANN"}) {
+    const auto* info = apps::find_app(name);
+    auto signature = [&](int n, int ppn) {
+      apps::AppConfig cfg = bench::paper_scale();
+      cfg.nranks = n;
+      cfg.ranks_per_node = ppn;
+      const auto a = analyze_app(*info, cfg);
+      std::string conflicts;
+      if (a.report.session.waw_s) conflicts += "WAW-S ";
+      if (a.report.session.waw_d) conflicts += "WAW-D ";
+      if (a.report.session.raw_s) conflicts += "RAW-S ";
+      if (a.report.session.raw_d) conflicts += "RAW-D ";
+      if (conflicts.empty()) conflicts = "-";
+      return a.pattern.xy + " " + core::to_string(a.pattern.layout) + " [" +
+             conflicts + "]";
+    };
+    const auto small_sig = signature(64, 8);
+    const auto large_sig = signature(1024, 32);
+    const bool stable = small_sig == large_sig;
+    all_stable &= stable;
+    big.add_row({name, small_sig, large_sig, stable ? "yes" : "NO"});
+  }
+  big.print(std::cout);
+
+  std::cout << "\nAll classes stable across scales: "
+            << (all_stable ? "yes (paper: no differences due to scale)"
+                           : "NO")
+            << "\n";
+  return all_stable ? 0 : 1;
+}

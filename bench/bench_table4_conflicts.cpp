@@ -1,0 +1,70 @@
+// Table 4 — conflicts detected under session semantics (WAW/RAW x
+// same/different process), plus the Section 6.3 companion result: under
+// commit semantics FLASH's conflicts disappear and everything else is
+// unchanged. Also prints the advisor's weakest-safe-model verdict, i.e.
+// the paper's headline "16 of 17 applications can use weaker semantics".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pfsem;
+  using bench::analyze_app;
+  using bench::check;
+
+  bench::heading("Table 4: conflicts with session semantics (measured vs paper)");
+  Table t({"Configuration", "I/O Lib", "WAW-S", "WAW-D", "RAW-S", "RAW-D",
+           "paper", "match"});
+  int ok_count = 0;
+  std::vector<std::pair<std::string, core::Advice>> advice;
+  for (const auto& info : apps::registry()) {
+    const auto a = analyze_app(info);
+    const auto& s = a.report.session;
+    const bool ok = s.waw_s == info.expect.waw_s && s.waw_d == info.expect.waw_d &&
+                    s.raw_s == info.expect.raw_s && s.raw_d == info.expect.raw_d;
+    if (ok) ++ok_count;
+    std::string paper;
+    if (info.expect.waw_s) paper += "WAW-S ";
+    if (info.expect.waw_d) paper += "WAW-D ";
+    if (info.expect.raw_s) paper += "RAW-S ";
+    if (info.expect.raw_d) paper += "RAW-D ";
+    if (paper.empty()) paper = "-";
+    t.add_row({info.name, info.iolib, check(s.waw_s), check(s.waw_d),
+               check(s.raw_s), check(s.raw_d), paper, bench::match_mark(ok)});
+    advice.emplace_back(info.name, a.advice);
+
+    // Commit-semantics companion check (Section 6.3).
+    const auto& c = a.report.commit;
+    if (info.expect.commit_clears) {
+      if (c.any()) {
+        std::cout << "UNEXPECTED: " << info.name
+                  << " still conflicts under commit semantics\n";
+      }
+    } else if (c.waw_s != info.expect.waw_s || c.waw_d != info.expect.waw_d ||
+               c.raw_s != info.expect.raw_s || c.raw_d != info.expect.raw_d) {
+      std::cout << "UNEXPECTED: " << info.name
+                << " conflict classes changed under commit semantics\n";
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nMatched " << ok_count << "/" << apps::registry().size()
+            << " configurations; under commit semantics the FLASH conflicts "
+               "disappear and all other rows are unchanged (checked above).\n";
+
+  bench::heading("Advisor: weakest safe consistency model per configuration");
+  Table adv({"Configuration", "weakest model", "weakest (strict PFS)",
+             "race-free"});
+  int weaker_than_posix = 0;
+  for (const auto& [name, a] : advice) {
+    adv.add_row({name, vfs::to_string(a.weakest), vfs::to_string(a.weakest_strict),
+                 a.race_free ? "yes" : "NO"});
+    if (a.weakest != vfs::ConsistencyModel::Strong) ++weaker_than_posix;
+  }
+  adv.print(std::cout);
+  std::cout << "\nHeadline: " << weaker_than_posix << "/"
+            << apps::registry().size()
+            << " configurations can run on a PFS with weaker-than-POSIX "
+               "semantics (paper: 16 of 17 applications).\n";
+  return ok_count == static_cast<int>(apps::registry().size()) ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// The FLASH fix (paper Section 6.3): FLASH is the only studied application
+// with cross-process conflicts under session semantics, caused by HDF5
+// metadata flushes. The paper proposes two one-line remedies:
+//
+//   (a) enable HDF5 collective metadata mode, so only rank 0 performs
+//       metadata I/O, or
+//   (b) remove the H5Fflush() between datasets (the final H5Fclose still
+//       flushes, so correctness is preserved in the absence of failures).
+//
+// This example runs FLASH three ways — stock, fix (a), fix (b) — and shows
+// the cross-process conflicts disappearing, making FLASH safe on every
+// session-semantics PFS.
+
+#include <iostream>
+
+#include "pfsem/apps/harness.hpp"
+#include "pfsem/core/conflict.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/iolib/hdf5_lite.hpp"
+#include "pfsem/util/table.hpp"
+
+namespace {
+
+using namespace pfsem;
+
+core::ConflictReport run_flash_variant(iolib::H5Options opt) {
+  apps::AppConfig cfg;
+  cfg.nranks = 64;
+  cfg.bytes_per_rank = 128 * 1024;
+  apps::Harness h(cfg);
+  iolib::Hdf5Lite h5(h.ctx(), opt);
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    for (int checkpoint = 0; checkpoint < 3; ++checkpoint) {
+      const std::string path = "flash_chk_" + std::to_string(checkpoint);
+      auto* f = co_await h5.create(r, path, h.world().all());
+      for (int d = 0; d < 8; ++d) {
+        const std::string name = "var" + std::to_string(d);
+        const std::uint64_t blk = cfg.bytes_per_rank / 8;
+        co_await h5.dataset_create(r, f, name,
+                                   blk * static_cast<std::uint64_t>(cfg.nranks));
+        co_await h5.dataset_write(r, f, name, static_cast<Offset>(r) * blk, blk);
+      }
+      co_await h5.close(r, f);
+    }
+  });
+  return core::detect_conflicts(core::reconstruct_accesses(h.finish()));
+}
+
+std::string describe(const core::ConflictMatrix& m) {
+  std::string out;
+  if (m.waw_s) out += "WAW-S ";
+  if (m.waw_d) out += "WAW-D ";
+  if (m.raw_s) out += "RAW-S ";
+  if (m.raw_d) out += "RAW-D ";
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  iolib::H5Options stock;
+  stock.flush_after_dataset = true;
+  stock.metadata_writers = 30;
+
+  iolib::H5Options fix_a = stock;
+  fix_a.collective_metadata = true;  // rank 0 does all metadata I/O
+
+  iolib::H5Options fix_b = stock;
+  fix_b.flush_after_dataset = false;  // drop the per-dataset H5Fflush
+
+  Table t({"variant", "session conflicts", "commit conflicts",
+           "safe on session-semantics PFS?"});
+  struct Row {
+    const char* name;
+    iolib::H5Options opt;
+  } rows[] = {{"stock FLASH (per-dataset H5Fflush)", stock},
+              {"fix (a): collective metadata mode", fix_a},
+              {"fix (b): remove H5Fflush", fix_b}};
+  for (const auto& row : rows) {
+    const auto rep = run_flash_variant(row.opt);
+    const bool safe = !rep.session.waw_d && !rep.session.raw_d;
+    t.add_row({row.name, describe(rep.session), describe(rep.commit),
+               safe ? "yes" : "NO (needs commit semantics)"});
+  }
+  t.print(std::cout);
+  std::cout << "\nAs in the paper: stock FLASH needs commit semantics (the "
+               "H5Fflush fsync clears its conflicts), while either one-line "
+               "change also makes it correct under session semantics.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Stale-read demonstration: the same producer/consumer program runs on
+// all four PFS consistency models, and we observe exactly which write each
+// read returned — the behavioural reality behind the paper's conflict
+// classes. Three synchronization disciplines are tried:
+//
+//   none   : write -> barrier -> read
+//   commit : write -> fsync -> barrier -> read
+//   session: write -> close -> barrier -> open -> read
+//
+// Expected: strong is always fresh; commit needs the fsync; session needs
+// the close->open pair; eventual is stale in all three (propagation is
+// slower than the barrier).
+
+#include <iostream>
+
+#include "pfsem/iolib/posix_io.hpp"
+#include "pfsem/util/table.hpp"
+
+namespace {
+
+using namespace pfsem;
+
+enum class Discipline { None, Commit, Session };
+
+bool read_is_fresh(vfs::ConsistencyModel model, Discipline d) {
+  sim::Engine engine;
+  trace::Collector collector(2);
+  vfs::PfsConfig pcfg;
+  pcfg.model = model;
+  vfs::Pfs pfs(pcfg);
+  mpi::World world(engine, collector, mpi::WorldConfig{.nranks = 2});
+  iolib::PosixIo posix({&engine, &world, &pfs, &collector});
+
+  bool fresh = false;
+  auto producer = [&]() -> sim::Task<void> {
+    const int fd = co_await posix.open(0, "data", trace::kCreate | trace::kRdWr);
+    co_await posix.write(0, fd, 4096);
+    if (d == Discipline::Commit) co_await posix.fsync(0, fd);
+    if (d == Discipline::Session) co_await posix.close(0, fd);
+    co_await world.barrier(0);
+    if (d != Discipline::Session) co_await posix.close(0, fd);
+  };
+  auto consumer = [&]() -> sim::Task<void> {
+    int fd = -1;
+    if (d != Discipline::Session) {
+      fd = co_await posix.open(1, "data", trace::kCreate | trace::kRdWr);
+    }
+    co_await world.barrier(1);
+    if (d == Discipline::Session) {
+      fd = co_await posix.open(1, "data", trace::kRdOnly);
+    }
+    co_await posix.pread(1, fd, 0, 4096);
+    fresh = true;
+    for (const auto& e : posix.last_read_extents()) {
+      if (e.version == 0) fresh = false;  // hole: the write is not visible
+    }
+    co_await posix.close(1, fd);
+  };
+  engine.spawn(producer());
+  engine.spawn(consumer());
+  engine.run();
+  return fresh;
+}
+
+}  // namespace
+
+int main() {
+  Table t({"synchronization", "strong", "commit", "session", "eventual"});
+  const struct {
+    const char* name;
+    Discipline d;
+  } disciplines[] = {{"barrier only", Discipline::None},
+                     {"fsync + barrier", Discipline::Commit},
+                     {"close + barrier + open", Discipline::Session}};
+  for (const auto& disc : disciplines) {
+    std::vector<std::string> row{disc.name};
+    for (auto m : {vfs::ConsistencyModel::Strong, vfs::ConsistencyModel::Commit,
+                   vfs::ConsistencyModel::Session,
+                   vfs::ConsistencyModel::Eventual}) {
+      row.push_back(read_is_fresh(m, disc.d) ? "fresh" : "STALE");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "\nEach column is one PFS consistency model; each row one "
+               "application synchronization discipline. A STALE cell is "
+               "exactly a conflict the detector flags for that model.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// ENZO non-cosmological collapse test (Table 5).
+//
+// N-N consecutive: at every data dump each rank writes its own HDF5 file
+// (grid data per dataset). ENZO's HDF5 usage re-reads the symbol-table
+// node before appending each new dataset entry; the read overlaps the
+// entries the same process wrote earlier with no commit in between —
+// the RAW-S conflict of Table 4 (present under session *and* commit
+// semantics).
+
+#include <string>
+
+#include "pfsem/apps/programs.hpp"
+#include "pfsem/iolib/hdf5_lite.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::apps {
+
+void run_enzo(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::H5Options opt;
+  opt.metadata_readback = true;  // the RAW-S source
+  iolib::Hdf5Lite h5(h.ctx(), opt);
+  iolib::PosixIo posix(h.ctx());
+
+  h.preload("CollapseTest.enzo", 8192);
+  const int dumps = cfg.steps / cfg.checkpoint_every;
+  constexpr int kGridsPerFile = 8;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    // Every rank reads the shared parameter file at startup.
+    const int pfd = co_await posix.open(r, "CollapseTest.enzo", trace::kRdOnly);
+    co_await posix.read(r, pfd, 8192);
+    co_await posix.close(r, pfd);
+    co_await h.world().barrier(r);
+
+    for (int d = 0; d < dumps; ++d) {
+      for (int s = 0; s < cfg.checkpoint_every; ++s) {
+        co_await h.compute(r, 150'000);
+        co_await h.world().allreduce(r, 8);
+      }
+      const std::string path = "DD" + std::to_string(1000 + d) + "/data" +
+                               std::to_string(1000 + d) + ".cpu" +
+                               std::to_string(10000 + r);
+      const mpi::Group self{r};
+      auto* f = co_await h5.create(r, path, self);
+      const std::uint64_t grid_bytes = cfg.bytes_per_rank / kGridsPerFile;
+      for (int g = 0; g < kGridsPerFile; ++g) {
+        const std::string name = "Grid" + std::to_string(g) + "/Density";
+        co_await h5.dataset_create(r, f, name, grid_bytes);
+        co_await h5.dataset_write(r, f, name, 0, grid_bytes);
+      }
+      co_await h5.close(r, f);
+      co_await h.world().barrier(r);
+    }
+  });
+}
+
+}  // namespace pfsem::apps

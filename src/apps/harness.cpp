@@ -1,0 +1,67 @@
+#include "pfsem/apps/harness.hpp"
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::apps {
+
+Harness::Harness(AppConfig cfg, vfs::PfsConfig pfs_cfg,
+                 std::vector<sim::ClockModel> clocks)
+    : Harness(cfg, std::make_unique<vfs::Pfs>(pfs_cfg), std::move(clocks)) {
+  concrete_pfs_ = static_cast<vfs::Pfs*>(fs_.get());
+}
+
+Harness::Harness(AppConfig cfg, std::unique_ptr<vfs::FileSystem> fs,
+                 std::vector<sim::ClockModel> clocks)
+    : cfg_(cfg),
+      collector_(cfg.nranks, std::move(clocks)),
+      fs_(std::move(fs)),
+      world_(engine_, collector_,
+             mpi::WorldConfig{.nranks = cfg.nranks,
+                              .ranks_per_node = cfg.ranks_per_node,
+                              .seed = cfg.seed}) {
+  require(fs_ != nullptr, "Harness needs a file system backend");
+  rank_rngs_.reserve(static_cast<std::size_t>(cfg.nranks));
+  for (int r = 0; r < cfg.nranks; ++r) {
+    rank_rngs_.emplace_back(cfg.seed * 1000003 + static_cast<std::uint64_t>(r));
+  }
+}
+
+vfs::Pfs& Harness::pfs() {
+  require(concrete_pfs_ != nullptr,
+          "pfs(): a custom file-system backend is in use");
+  return *concrete_pfs_;
+}
+
+sim::Task<void> Harness::compute(Rank r, SimDuration base) {
+  auto& rng = rank_rngs_[static_cast<std::size_t>(r)];
+  const auto jitter =
+      static_cast<SimDuration>(rng.below(static_cast<std::uint64_t>(base / 4 + 1)));
+  co_await engine_.delay(base + jitter);
+}
+
+std::uint64_t Harness::shaped(std::uint64_t salt, Rank r, std::uint64_t lo,
+                              std::uint64_t hi) const {
+  require(hi >= lo, "shaped: bad range");
+  // SplitMix64-style stateless hash of (seed, salt, rank).
+  std::uint64_t z = cfg_.seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(r) * 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return lo + z % (hi - lo + 1);
+}
+
+void Harness::run(const std::function<sim::Task<void>(Rank)>& program) {
+  for (Rank r = 0; r < cfg_.nranks; ++r) {
+    engine_.spawn([](Harness* h, Rank rank,
+                     std::function<sim::Task<void>(Rank)> body) -> sim::Task<void> {
+      // The paper's methodology: a startup barrier defines time zero and
+      // bounds clock skew before any traced I/O happens.
+      co_await h->world().barrier(rank);
+      co_await body(rank);
+    }(this, r, program));
+  }
+  engine_.run();
+}
+
+}  // namespace pfsem::apps

@@ -1,0 +1,175 @@
+// HDF5-based scientific applications: QMCPACK, VPIC-IO, Chombo, ParaDiS.
+// All four are conflict-free in the paper (Table 4); they differ in their
+// Table-3 classes, which these models reproduce:
+//   QMCPACK  — 1-1 consecutive (rank-0 checkpoints)
+//   VPIC-IO  — M-1 strided-cyclic (collective writes, one round per
+//              particle variable)
+//   Chombo   — N-1 strided (independent ragged AMR box writes, collective
+//              metadata on rank 0)
+//   ParaDiS  — N-1 strided for both back-ends; the HDF5 build adds the
+//              lstat/fstat/ftruncate metadata calls seen in Figure 3.
+
+#include <string>
+
+#include "pfsem/apps/programs.hpp"
+#include "pfsem/iolib/hdf5_lite.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::apps {
+
+void run_qmcpack(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::Hdf5Lite h5(h.ctx(), {});
+  iolib::PosixIo posix(h.ctx());
+  h.preload("H2O.xml", 16384);
+  const int blocks = 40;
+  const int checkpoint_every = 20;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    if (r == 0) {
+      const int fd = co_await posix.open(r, "H2O.xml", trace::kRdOnly);
+      co_await posix.read(r, fd, 16384);
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().bcast(r, 0, 16384);
+
+    int ckpt = 0;
+    for (int b = 1; b <= blocks; ++b) {
+      co_await h.compute(r, 300'000);
+      co_await h.world().allreduce(r, 64);  // walker population control
+      if (b % checkpoint_every != 0) continue;
+      // Walker configurations are gathered and written by rank 0.
+      co_await h.world().gather(r, 0, cfg.bytes_per_rank / 8);
+      if (r == 0) {
+        const std::string path =
+            "qmc.s" + std::to_string(100 + ckpt) + ".config.h5";
+        const mpi::Group root_group{0};
+        auto* f = co_await h5.create(r, path, root_group);
+        const std::uint64_t total =
+            cfg.bytes_per_rank / 8 * static_cast<std::uint64_t>(cfg.nranks);
+        static constexpr const char* kNames[] = {"walkers", "weights", "state"};
+        for (const char* name : kNames) {
+          co_await h5.dataset_create(r, f, name, total / 3);
+          co_await h5.dataset_write(r, f, name, 0, total / 3);
+        }
+        co_await h5.close(r, f);
+      }
+      co_await h.world().barrier(r);
+      ++ckpt;
+    }
+  });
+}
+
+void run_vpic(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::H5Options opt;
+  opt.collective_data = true;
+  opt.aggregators = 6;
+  iolib::Hdf5Lite h5(h.ctx(), opt);
+  // Eight particle variables, each a 1D array partitioned across ranks —
+  // one collective round per variable gives the strided-cyclic shape.
+  static const char* kVars[] = {"x", "y", "z", "ux", "uy", "uz", "q", "id"};
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    co_await h.compute(r, 200'000);
+    auto* f = co_await h5.create(r, "vpic_particles.h5", h.world().all());
+    const std::uint64_t per_rank = cfg.bytes_per_rank / 8;
+    for (const char* v : kVars) {
+      const std::uint64_t total =
+          per_rank * static_cast<std::uint64_t>(cfg.nranks);
+      co_await h5.dataset_create(r, f, v, total);
+      co_await h5.dataset_write(r, f, v, static_cast<Offset>(r) * per_rank,
+                                per_rank);
+    }
+    co_await h5.close(r, f);
+  });
+}
+
+void run_chombo(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::H5Options opt;
+  opt.collective_metadata = true;  // rank 0 performs all metadata I/O
+  iolib::Hdf5Lite h5(h.ctx(), opt);
+  constexpr int kBoxesPerRank = 4;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    co_await h.compute(r, 250'000);
+    co_await h.world().allreduce(r, 8);  // residual norm
+    auto* f = co_await h5.create(r, "chombo_poisson.hdf5", h.world().all());
+    // One big ragged dataset of AMR box data: each rank owns kBoxesPerRank
+    // boxes of irregular size, laid out rank-major with irregular extents.
+    // Each box slot carries 4 KiB of allocation padding, so successive
+    // box writes leave gaps: monotonic-with-gaps per rank = "strided".
+    constexpr std::uint64_t kBoxPad = 4096;
+    std::uint64_t total = 0;
+    for (Rank q = 0; q < cfg.nranks; ++q) {
+      for (int b = 0; b < kBoxesPerRank; ++b) {
+        total += kBoxPad + h.shaped(900 + static_cast<std::uint64_t>(b), q,
+                                    cfg.bytes_per_rank / 8, cfg.bytes_per_rank / 4);
+      }
+    }
+    co_await h5.dataset_create(r, f, "level_0/data", total);
+    // My boxes start after all lower ranks' boxes.
+    Offset off = 0;
+    for (Rank q = 0; q < r; ++q) {
+      for (int b = 0; b < kBoxesPerRank; ++b) {
+        off += kBoxPad + h.shaped(900 + static_cast<std::uint64_t>(b), q,
+                                  cfg.bytes_per_rank / 8, cfg.bytes_per_rank / 4);
+      }
+    }
+    for (int b = 0; b < kBoxesPerRank; ++b) {
+      const std::uint64_t bytes =
+          h.shaped(900 + static_cast<std::uint64_t>(b), r,
+                   cfg.bytes_per_rank / 8, cfg.bytes_per_rank / 4);
+      co_await h5.dataset_write(r, f, "level_0/data", off, bytes);
+      off += bytes + kBoxPad;
+      co_await h.compute(r, 50'000);  // box-to-box packing work
+    }
+    co_await h5.close(r, f);
+  });
+}
+
+void run_paradis(Harness& h, bool hdf5) {
+  const auto& cfg = h.config();
+  iolib::Hdf5Lite h5(h.ctx(), {});
+  iolib::PosixIo posix(h.ctx());
+  h.preload("copper.ctrl", 4096);
+  const int dumps = cfg.steps / cfg.checkpoint_every;
+  // Fixed per-rank segment with allocation padding: per-process segments
+  // separated by gaps -> the N-1 "strided" class of Table 3.
+  const std::uint64_t seg = cfg.bytes_per_rank;
+  const std::uint64_t padded = seg + 8192;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    if (r == 0) {
+      const int fd = co_await posix.open(r, "copper.ctrl", trace::kRdOnly);
+      co_await posix.read(r, fd, 4096);
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().bcast(r, 0, 4096);
+
+    for (int d = 0; d < dumps; ++d) {
+      for (int s = 0; s < cfg.checkpoint_every; ++s) {
+        co_await h.compute(r, 180'000);
+        co_await h.world().allreduce(r, 16);  // force contributions
+      }
+      const std::string base = "paradis_rs" + std::to_string(1000 + d);
+      if (hdf5) {
+        auto* f = co_await h5.create(r, base + ".h5", h.world().all());
+        co_await h5.dataset_create(
+            r, f, "nodes", padded * static_cast<std::uint64_t>(cfg.nranks));
+        co_await h5.dataset_write(r, f, "nodes",
+                                  static_cast<Offset>(r) * padded, seg);
+        co_await h5.close(r, f);
+      } else {
+        const int fd = co_await posix.open(
+            r, base + ".data", trace::kCreate | trace::kWrOnly);
+        co_await posix.pwrite(r, fd, static_cast<Offset>(r) * padded, seg);
+        co_await posix.close(r, fd);
+      }
+      co_await h.world().barrier(r);
+    }
+  });
+}
+
+}  // namespace pfsem::apps

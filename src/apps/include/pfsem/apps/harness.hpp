@@ -1,0 +1,86 @@
+#pragma once
+// Run harness: wires one simulated application run together — DES engine,
+// MPI world, PFS under test, trace collector — and launches one coroutine
+// per rank behind a startup barrier (the paper's time-0 normalization
+// point). The result of a run is a TraceBundle, the input of pfsem::core.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pfsem/iolib/context.hpp"
+#include "pfsem/mpi/world.hpp"
+#include "pfsem/sim/clock.hpp"
+#include "pfsem/sim/engine.hpp"
+#include "pfsem/trace/collector.hpp"
+#include "pfsem/util/rng.hpp"
+#include "pfsem/vfs/filesystem.hpp"
+#include "pfsem/vfs/pfs.hpp"
+
+namespace pfsem::apps {
+
+struct AppConfig {
+  int nranks = 64;
+  int ranks_per_node = 8;
+  /// Number of simulated time steps (apps derive dump cadence from this).
+  int steps = 100;
+  int checkpoint_every = 20;
+  /// Nominal per-rank payload of one checkpoint/dump. Scaled down from the
+  /// paper's runs (e.g. pF3D's 2 GB/process) to keep traces tractable; the
+  /// access *structure* is what the analysis consumes.
+  std::uint64_t bytes_per_rank = 256 * 1024;
+  std::uint64_t seed = 42;
+};
+
+class Harness {
+ public:
+  explicit Harness(AppConfig cfg, vfs::PfsConfig pfs_cfg = {},
+                   std::vector<sim::ClockModel> clocks = {});
+  /// Run against a custom file-system backend (e.g. vfs::BurstBufferPfs).
+  Harness(AppConfig cfg, std::unique_ptr<vfs::FileSystem> fs,
+          std::vector<sim::ClockModel> clocks = {});
+
+  [[nodiscard]] const AppConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] mpi::World& world() { return world_; }
+  /// The file system under test.
+  [[nodiscard]] vfs::FileSystem& fs() { return *fs_; }
+  /// The default Pfs backend (throws if a custom backend was supplied).
+  [[nodiscard]] vfs::Pfs& pfs();
+  [[nodiscard]] trace::Collector& collector() { return collector_; }
+  [[nodiscard]] iolib::IoContext ctx() {
+    return {&engine_, &world_, fs_.get(), &collector_};
+  }
+
+  /// Stage an input file before the run (visible under every model).
+  void preload(const std::string& path, Offset size) {
+    fs_->preload(path, size);
+  }
+
+  /// A compute phase: `base` plus a small deterministic per-rank jitter,
+  /// so ranks drift apart the way real time steps do.
+  [[nodiscard]] sim::Task<void> compute(Rank r, SimDuration base);
+
+  /// Deterministic per-rank value in [lo, hi] for workload shaping
+  /// (irregular block sizes etc.); depends only on (seed, salt, r).
+  [[nodiscard]] std::uint64_t shaped(std::uint64_t salt, Rank r,
+                                     std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Spawn `program(r)` for every rank behind a startup barrier and run
+  /// the simulation to completion.
+  void run(const std::function<sim::Task<void>(Rank)>& program);
+
+  /// Take the captured trace (call after run()).
+  [[nodiscard]] trace::TraceBundle finish() { return collector_.take(); }
+
+ private:
+  AppConfig cfg_;
+  trace::Collector collector_;
+  sim::Engine engine_;
+  std::unique_ptr<vfs::FileSystem> fs_;
+  vfs::Pfs* concrete_pfs_ = nullptr;  // set when the default backend is used
+  mpi::World world_;
+  std::vector<Rng> rank_rngs_;
+};
+
+}  // namespace pfsem::apps

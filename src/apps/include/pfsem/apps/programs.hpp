@@ -1,0 +1,70 @@
+#pragma once
+// Per-application workload models (implementation entry points used by the
+// registry). Each function drives a full simulated run of one application
+// configuration against the harness' PFS; see the .cpp files for the I/O
+// structure each one reproduces and the paper sections it is drawn from.
+
+#include "pfsem/apps/harness.hpp"
+
+namespace pfsem::apps {
+
+// FLASH Sedov explosion, HDF5 checkpoints + plot files; fbs = fixed block
+// size -> collective I/O, nofbs = dynamic block size -> independent I/O.
+void run_flash(Harness& h, bool fbs);
+
+// ENZO collapse test: one HDF5 file per rank per dump, with symbol-table
+// readback (the RAW-S source).
+void run_enzo(Harness& h);
+
+// LAMMPS 2D LJ flow with one of five dump back-ends.
+enum class LammpsIo { Posix, MpiIo, Hdf5, NetCdf, Adios };
+void run_lammps(Harness& h, LammpsIo io);
+
+// QMCPACK diffusion Monte Carlo: rank-0 HDF5 checkpoints.
+void run_qmcpack(Harness& h);
+// VPIC-IO particle benchmark: collective HDF5, 8 variables, one file.
+void run_vpic(Harness& h);
+// Chombo AMR Poisson: shared HDF5 file, collective metadata, ragged boxes.
+void run_chombo(Harness& h);
+// ParaDiS dislocation dynamics restart dumps, POSIX or HDF5 back-end.
+void run_paradis(Harness& h, bool hdf5);
+
+// NWChem gas-phase dynamics: per-rank scratch + rank-0 trajectory with
+// in-place header rewrite and read-back (WAW-S + RAW-S).
+void run_nwchem(Harness& h);
+// GAMESS closed-shell test: M writer ranks, per-writer dictionary file
+// with in-place master-index rewrites (WAW-S).
+void run_gamess(Harness& h);
+// Nek5000 eddy: rank-0 gathers and writes checkpoint fields.
+void run_nek5000(Harness& h);
+// GTC gyrokinetic toroidal code: rank-0 history/restart output.
+void run_gtc(Harness& h);
+// MILC-QCD lattice save; parallel = every rank writes its sites into one
+// shared file, serial = rank 0 writes everything.
+void run_milc(Harness& h, bool parallel);
+// VASP GaAs relaxation: all ranks read POSCAR, rank 0 writes OUTCAR.
+void run_vasp(Harness& h);
+
+// LBANN autoencoder on CIFAR-10: every rank reads the whole dataset.
+void run_lbann(Harness& h);
+
+// EXTENSION (paper Section 7): a two-application workflow coupled through
+// the file system alone — producer ranks write simulation snapshots,
+// consumer ranks (a separate analysis "job", no MPI channel between the
+// groups) poll for completion markers and read them. `pipelined` =
+// consumers open each snapshot only after its marker appears (close->open
+// chains make session semantics sufficient); eager = consumers pre-open
+// the snapshot files at startup (stale sessions: RAW-D under session
+// semantics). Either way the marker files create cross-job *metadata*
+// dependencies no MPI synchronization covers.
+void run_workflow(Harness& h, bool pipelined);
+
+// pF3D-IO checkpoint kernel: file per process + trailer read-back (RAW-S).
+void run_pf3d(Harness& h);
+// HACC-IO particle checkpoint kernel, POSIX (file per process) or MPI-IO
+// (shared file, independent writes at rank offsets).
+void run_hacc(Harness& h, bool mpiio);
+// MACSio multi-purpose I/O proxy: Silo multifile with baton passing.
+void run_macsio(Harness& h);
+
+}  // namespace pfsem::apps

@@ -1,0 +1,54 @@
+#pragma once
+// Application registry: the 17 studied applications/benchmarks in all 25
+// (application, I/O library) configurations of the paper (Tables 2-5),
+// each as a synthetic workload model that reproduces the application's
+// documented I/O structure, together with the paper's expected results
+// for that configuration so benches and tests can compare shape.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pfsem/apps/harness.hpp"
+#include "pfsem/trace/bundle.hpp"
+
+namespace pfsem::apps {
+
+/// Ground truth from the paper for one configuration.
+struct Expectation {
+  /// Table 3 high-level class ("" when the paper's table omits the config).
+  std::string xy;
+  std::string layout;  ///< "consecutive" / "strided" / "strided-cyclic"
+  /// Table 4: conflict classes under session semantics.
+  bool waw_s = false, waw_d = false, raw_s = false, raw_d = false;
+  /// Section 6.3: do this config's conflicts disappear under commit
+  /// semantics? (True only for FLASH.)
+  bool commit_clears = false;
+
+  [[nodiscard]] bool any_conflict() const {
+    return waw_s || waw_d || raw_s || raw_d;
+  }
+};
+
+struct AppInfo {
+  std::string name;   ///< configuration name, e.g. "LAMMPS-NetCDF"
+  std::string app;    ///< application, e.g. "LAMMPS"
+  std::string iolib;  ///< "POSIX", "MPI-IO", "HDF5", "NetCDF", "ADIOS", "Silo"
+  std::string description;  ///< Table 5 style workload description
+  Expectation expect;
+  std::function<void(Harness&)> run;
+};
+
+/// All configurations, in the paper's presentation order.
+[[nodiscard]] const std::vector<AppInfo>& registry();
+
+/// Lookup by configuration name; nullptr if unknown.
+[[nodiscard]] const AppInfo* find_app(std::string_view name);
+
+/// Convenience: build a harness, run the configuration, return its trace.
+[[nodiscard]] trace::TraceBundle run_app(const AppInfo& info, AppConfig cfg = {},
+                                         vfs::PfsConfig pfs_cfg = {},
+                                         std::vector<sim::ClockModel> clocks = {});
+
+}  // namespace pfsem::apps

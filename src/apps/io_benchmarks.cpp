@@ -1,0 +1,106 @@
+// I/O benchmark kernels: pF3D-IO, HACC-IO (POSIX and MPI-IO), MACSio.
+//
+//   pF3D-IO — one checkpoint step, file per process (N-N consecutive);
+//     each process reads back a verification trailer it just wrote with
+//     no commit in between: the RAW-S conflict of Table 4.
+//   HACC-IO — particle checkpoint; POSIX mode writes a file per process
+//     (N-N consecutive), MPI-IO mode writes one shared file with
+//     independent writes at rank offsets.
+//   MACSio  — Silo multifile mode (N-M strided): ranks share group files
+//     in baton order; the in-turn TOC double-write is the WAW-S of
+//     Table 4, and the baton's close->open chain is why no cross-process
+//     conflict survives session semantics.
+
+#include <string>
+
+#include "pfsem/apps/programs.hpp"
+#include "pfsem/iolib/mpi_io.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+#include "pfsem/iolib/silo_lite.hpp"
+
+namespace pfsem::apps {
+
+void run_pf3d(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  // The paper's kernel writes ~2 GB per process; we keep the structure
+  // (many large sequential chunks + trailer read-back) at reduced scale.
+  const std::uint64_t total = cfg.bytes_per_rank * 8;
+  const std::uint64_t kChunk = std::max<std::uint64_t>(total / 16, 64 * 1024);
+  constexpr Offset kTrailer = 4096;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    co_await h.compute(r, 100'000);
+    const std::string path = "pf3d_chk/dump_" + std::to_string(r);
+    const int fd = co_await posix.open(
+        r, path, trace::kCreate | trace::kTrunc | trace::kRdWr);
+    for (std::uint64_t off = 0; off < total; off += kChunk) {
+      co_await posix.write(r, fd, std::min(kChunk, total - off));
+    }
+    // Verification: re-read the trailer just written (no fsync before).
+    co_await posix.lseek(r, fd, -static_cast<std::int64_t>(kTrailer),
+                         trace::kSeekEnd);
+    co_await posix.read(r, fd, kTrailer);
+    co_await posix.close(r, fd);
+    co_await h.world().barrier(r);
+  });
+}
+
+void run_hacc(Harness& h, bool mpiio) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  iolib::MpiIo mio(h.ctx(), {.aggregators = 6});
+  // Nine particle properties (x,y,z,vx,vy,vz,phi,pid,mask), written as
+  // contiguous per-variable blocks like the GenericIO checkpoint.
+  constexpr int kVars = 9;
+  const std::uint64_t var_bytes = cfg.bytes_per_rank / kVars;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    co_await h.compute(r, 150'000);
+    if (mpiio) {
+      auto* f = co_await mio.open(r, "hacc_checkpoint.mpiio",
+                                  trace::kCreate | trace::kWrOnly,
+                                  h.world().all());
+      // Independent writes: rank r owns one contiguous region, written
+      // variable by variable.
+      Offset base = static_cast<Offset>(r) * var_bytes * kVars;
+      for (int v = 0; v < kVars; ++v) {
+        co_await mio.write_at(r, f, base, var_bytes);
+        base += var_bytes;
+      }
+      co_await mio.close(r, f);
+    } else {
+      const int fd = co_await posix.open(
+          r, "hacc_checkpoint." + std::to_string(r),
+          trace::kCreate | trace::kTrunc | trace::kWrOnly);
+      for (int v = 0; v < kVars; ++v) {
+        co_await posix.write(r, fd, var_bytes);
+      }
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().barrier(r);
+  });
+}
+
+void run_macsio(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::SiloLite silo(h.ctx());
+  const int group_size = cfg.ranks_per_node;  // one group file per node
+  const int dumps = cfg.steps / cfg.checkpoint_every;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    const int g = r / group_size;
+    mpi::Group group;
+    for (int i = 0; i < group_size; ++i) group.push_back(g * group_size + i);
+    for (int d = 0; d < dumps; ++d) {
+      co_await h.compute(r, 200'000);
+      co_await h.world().barrier(r);
+      const std::string path = "macsio_silo_" + std::to_string(g) + "_" +
+                               std::to_string(d) + ".silo";
+      co_await silo.write_group_file(r, path, group, cfg.bytes_per_rank, d);
+      co_await h.world().barrier(r);
+    }
+  });
+}
+
+}  // namespace pfsem::apps

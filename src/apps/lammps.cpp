@@ -1,0 +1,127 @@
+// LAMMPS 2D LJ flow, 100 steps, dump every 20 (Table 5), with the five
+// dump back-ends the paper runs (Section 6.2.1, 6.3):
+//
+//   POSIX  — rank 0 gathers and appends to one text dump: 1-1 consecutive,
+//            no conflicts.
+//   MPI-IO — collective dump into a fresh per-step file: M-1 strided (the
+//            aggregators), no conflicts.
+//   HDF5   — rank 0 writes per-dump HDF5 files: 1-1 consecutive, and the
+//            h5md layout adds metadata ops but no overlapping rewrites.
+//   NetCDF — rank 0 appends records to one classic-format file whose
+//            numrecs header bytes are rewritten in place every dump:
+//            WAW-S under session and commit semantics.
+//   ADIOS  — aggregated subfiles (M-M consecutive) plus the single-byte
+//            md.idx overwrite by rank 0: WAW-S under both semantics.
+
+#include <string>
+
+#include "pfsem/apps/programs.hpp"
+#include "pfsem/iolib/adios_lite.hpp"
+#include "pfsem/iolib/hdf5_lite.hpp"
+#include "pfsem/iolib/mpi_io.hpp"
+#include "pfsem/iolib/netcdf_lite.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::apps {
+
+void run_lammps(Harness& h, LammpsIo io) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  iolib::MpiIo mpiio(h.ctx(), {.aggregators = 6});
+  iolib::Hdf5Lite h5(h.ctx(), {});
+  iolib::NetCdfLite nc(h.ctx());
+  iolib::AdiosLite adios(h.ctx(), {.aggregators = 8});
+
+  h.preload("in.flow", 2048);
+  const std::uint64_t dump_bytes = cfg.bytes_per_rank / 4;  // atom coords
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    if (r == 0) {
+      const int fd = co_await posix.open(r, "in.flow", trace::kRdOnly);
+      co_await posix.read(r, fd, 2048);
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().bcast(r, 0, 2048);
+
+    // Persistent single-file back-ends are set up once.
+    int posix_fd = -1;
+    iolib::NcFile* ncf = nullptr;
+    iolib::AdiosFile* bp = nullptr;
+    if (io == LammpsIo::Posix && r == 0) {
+      posix_fd = co_await posix.open(
+          r, "dump.lammpstrj", trace::kCreate | trace::kTrunc | trace::kWrOnly);
+    }
+    if (io == LammpsIo::NetCdf && r == 0) {
+      ncf = co_await nc.create(r, "dump.nc");
+      co_await nc.def_var(r, ncf, "coordinates");
+      co_await nc.enddef(r, ncf);
+    }
+    if (io == LammpsIo::Adios) {
+      bp = co_await adios.open(r, "dump", h.world().all());
+    }
+
+    int dump = 0;
+    for (int step = 1; step <= cfg.steps; ++step) {
+      co_await h.compute(r, 100'000);
+      co_await h.world().allreduce(r, 8);
+      if (step % cfg.checkpoint_every != 0) continue;
+
+      switch (io) {
+        case LammpsIo::Posix: {
+          co_await h.world().gather(r, 0, dump_bytes);
+          if (r == 0) {
+            co_await posix.write(
+                r, posix_fd,
+                dump_bytes * static_cast<std::uint64_t>(cfg.nranks));
+          }
+          break;
+        }
+        case LammpsIo::MpiIo: {
+          const std::string path = "dump." + std::to_string(step) + ".mpiio";
+          auto* f = co_await mpiio.open(
+              r, path, trace::kCreate | trace::kTrunc | trace::kWrOnly,
+              h.world().all());
+          co_await mpiio.write_at_all(
+              r, f, static_cast<Offset>(r) * dump_bytes, dump_bytes);
+          co_await mpiio.close(r, f);
+          break;
+        }
+        case LammpsIo::Hdf5: {
+          co_await h.world().gather(r, 0, dump_bytes);
+          if (r == 0) {
+            const std::string path = "dump_" + std::to_string(step) + ".h5";
+            const mpi::Group root_group{0};
+            auto* f = co_await h5.create(r, path, root_group);
+            const std::uint64_t total =
+                dump_bytes * static_cast<std::uint64_t>(cfg.nranks);
+            co_await h5.dataset_create(r, f, "particles/position", total);
+            co_await h5.dataset_write(r, f, "particles/position", 0, total);
+            co_await h5.close(r, f);
+          }
+          co_await h.world().barrier(r);
+          break;
+        }
+        case LammpsIo::NetCdf: {
+          co_await h.world().gather(r, 0, dump_bytes);
+          if (r == 0) {
+            co_await nc.put_record(
+                r, ncf, dump_bytes * static_cast<std::uint64_t>(cfg.nranks));
+          }
+          break;
+        }
+        case LammpsIo::Adios: {
+          co_await adios.put(r, bp, dump_bytes);
+          co_await adios.end_step(r, bp);
+          break;
+        }
+      }
+      ++dump;
+    }
+
+    if (io == LammpsIo::Posix && r == 0) co_await posix.close(r, posix_fd);
+    if (io == LammpsIo::NetCdf && r == 0) co_await nc.close(r, ncf);
+    if (io == LammpsIo::Adios) co_await adios.close(r, bp);
+  });
+}
+
+}  // namespace pfsem::apps

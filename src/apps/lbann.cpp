@@ -1,0 +1,54 @@
+// LBANN autoencoder on CIFAR-10 (Table 5; Section 6.2.3).
+//
+// The read-intensive outlier of the study: every rank reads the *entire*
+// dataset file into memory with plain POSIX read() calls. Locally each
+// rank's accesses are perfectly consecutive (byte 0 to EOF); globally the
+// interleaving of 64 concurrent readers makes the PFS-side pattern look
+// largely random (Figure 1). N-1 consecutive in Table 3; no conflicts.
+
+#include <string>
+
+#include "pfsem/apps/programs.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::apps {
+
+void run_lbann(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  const Offset dataset_bytes =
+      std::max<Offset>(cfg.bytes_per_rank * 64, 8 * 1024 * 1024);
+  constexpr Offset kChunk = 256 * 1024;
+  h.preload("cifar10_train.bin", dataset_bytes);
+  const int epochs = 2;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    // Data ingestion: every rank streams the full dataset.
+    const int fd = co_await posix.open(r, "cifar10_train.bin", trace::kRdOnly);
+    for (Offset off = 0; off < dataset_bytes; off += kChunk) {
+      co_await posix.read(r, fd, std::min(kChunk, dataset_bytes - off));
+      co_await h.compute(r, 20'000);  // decode/normalize
+    }
+    co_await posix.close(r, fd);
+    co_await h.world().barrier(r);
+
+    // Training epochs: allreduce of gradients per mini-batch.
+    for (int e = 0; e < epochs; ++e) {
+      for (int batch = 0; batch < 20; ++batch) {
+        co_await h.compute(r, 80'000);
+        co_await h.world().allreduce(r, 64 * 1024);
+      }
+      // Rank 0 saves the model between epochs (small, conflict-free).
+      if (r == 0) {
+        const int mfd = co_await posix.open(
+            r, "model.epoch." + std::to_string(e),
+            trace::kCreate | trace::kTrunc | trace::kWrOnly);
+        co_await posix.write(r, mfd, 512 * 1024);
+        co_await posix.close(r, mfd);
+      }
+      co_await h.world().barrier(r);
+    }
+  });
+}
+
+}  // namespace pfsem::apps

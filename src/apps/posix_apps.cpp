@@ -1,0 +1,283 @@
+// POSIX-based scientific applications: NWChem, GAMESS, Nek5000, GTC,
+// MILC-QCD (serial + parallel), VASP.
+//
+// Conflict signatures (Table 4):
+//   NWChem — WAW-S and RAW-S: rank 0 rewinds the trajectory file each
+//     print step to re-read and rewrite the frame-count header in place.
+//   GAMESS — WAW-S: each writer rank rewinds its dictionary file (F10) to
+//     rewrite the master index record.
+//   Nek5000, GTC, MILC, VASP — conflict-free.
+
+#include <string>
+
+#include "pfsem/apps/programs.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::apps {
+
+void run_nwchem(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  h.preload("dynamics.nw", 4096);
+  constexpr Offset kHeader = 4096;
+  const int data_steps = 30;
+  const int print_every = 5;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    const int pfd = co_await posix.open(r, "dynamics.nw", trace::kRdOnly);
+    co_await posix.read(r, pfd, 4096);
+    co_await posix.close(r, pfd);
+    co_await h.world().barrier(r);
+
+    // N-N: every rank streams integral blocks into its own scratch file.
+    const int aofd = co_await posix.open(
+        r, "nwchem.aoints." + std::to_string(r),
+        trace::kCreate | trace::kTrunc | trace::kWrOnly);
+
+    // 1-1: rank 0 owns the trajectory file.
+    int trj = -1;
+    if (r == 0) {
+      trj = co_await posix.open(r, "dynamics.trj",
+                                trace::kCreate | trace::kTrunc | trace::kRdWr);
+      co_await posix.write(r, trj, kHeader);  // initial header
+    }
+
+    for (int step = 1; step <= data_steps; ++step) {
+      co_await h.compute(r, 250'000);
+      co_await h.world().allreduce(r, 32);  // energy terms
+      co_await posix.write(r, aofd, cfg.bytes_per_rank / data_steps);
+      // Solute coordinates go to the trajectory every step (Table 5).
+      co_await h.world().gather(r, 0, 2048);
+      if (r == 0) {
+        co_await posix.lseek(r, trj, 0, trace::kSeekEnd);
+        co_await posix.write(r, trj, 2048 * static_cast<std::uint64_t>(cfg.nranks));
+        if (step % print_every == 0) {
+          // Re-read and rewrite the header in place: RAW-S then WAW-S,
+          // with no commit in between.
+          co_await posix.lseek(r, trj, 0, trace::kSeekSet);
+          co_await posix.read(r, trj, kHeader);
+          co_await posix.lseek(r, trj, 0, trace::kSeekSet);
+          co_await posix.write(r, trj, kHeader);
+          co_await posix.lseek(r, trj, 0, trace::kSeekEnd);
+        }
+      }
+    }
+    co_await posix.close(r, aofd);
+    if (r == 0) co_await posix.close(r, trj);
+  });
+}
+
+void run_gamess(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  h.preload("exam01.inp", 2048);
+  constexpr Offset kMasterIndex = 2048;
+  const int writers_stride = 8;  // M = nranks/8 I/O ranks
+  const int iterations = 10;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    if (r == 0) {
+      const int fd = co_await posix.open(r, "exam01.inp", trace::kRdOnly);
+      co_await posix.read(r, fd, 2048);
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().bcast(r, 0, 2048);
+
+    const bool writer = r % writers_stride == 0;
+    int fd = -1;
+    if (writer) {
+      fd = co_await posix.open(r, "gamess.F10." + std::to_string(r),
+                               trace::kCreate | trace::kTrunc | trace::kRdWr);
+      co_await posix.write(r, fd, kMasterIndex);  // initial master index
+    }
+    for (int it = 0; it < iterations; ++it) {
+      co_await h.compute(r, 400'000);
+      co_await h.world().allreduce(r, 64);  // SCF density
+      if (!writer) continue;
+      // Several dictionary records stream out per SCF iteration (record
+      // size stays >= 8 KiB so records read as data, not metadata)...
+      const std::uint64_t per_iter = cfg.bytes_per_rank / iterations;
+      const int nrecs = std::max<int>(1, static_cast<int>(per_iter / 8192));
+      co_await posix.lseek(r, fd, 0, trace::kSeekEnd);
+      for (int rec = 0; rec < nrecs; ++rec) {
+        co_await posix.write(r, fd, per_iter / static_cast<std::uint64_t>(nrecs));
+      }
+      // ...then the master index record is rewritten in place: WAW-S.
+      co_await posix.lseek(r, fd, 0, trace::kSeekSet);
+      co_await posix.write(r, fd, kMasterIndex);
+    }
+    if (writer) co_await posix.close(r, fd);
+  });
+}
+
+void run_nek5000(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  h.preload("eddy_uv.rea", 32768);
+  const int steps = 1000;
+  const int checkpoint_every = 100;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    if (r == 0) {
+      const int fd = co_await posix.open(r, "eddy_uv.rea", trace::kRdOnly);
+      co_await posix.read(r, fd, 32768);
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().bcast(r, 0, 32768);
+
+    int ckpt = 0;
+    for (int step = 1; step <= steps; ++step) {
+      co_await h.compute(r, 30'000);
+      if (step % 10 == 0) co_await h.world().allreduce(r, 16);  // error norm
+      if (step % checkpoint_every != 0) continue;
+      co_await h.world().gather(r, 0, cfg.bytes_per_rank / 4);
+      if (r == 0) {
+        const int fd = co_await posix.open(
+            r, "eddy_uv0.f" + std::to_string(10000 + ckpt),
+            trace::kCreate | trace::kTrunc | trace::kWrOnly);
+        // Velocity + pressure fields, streamed sequentially.
+        for (int field = 0; field < 3; ++field) {
+          co_await posix.write(
+              r, fd,
+              cfg.bytes_per_rank / 4 * static_cast<std::uint64_t>(cfg.nranks) / 3);
+        }
+        co_await posix.close(r, fd);
+      }
+      co_await h.world().barrier(r);
+      ++ckpt;
+    }
+  });
+}
+
+void run_gtc(Harness& h) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  h.preload("gtc.input", 2048);
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    if (r == 0) {
+      const int fd = co_await posix.open(r, "gtc.input", trace::kRdOnly);
+      co_await posix.read(r, fd, 2048);
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().bcast(r, 0, 2048);
+
+    int hist = -1;
+    if (r == 0) {
+      hist = co_await posix.open(r, "history.out",
+                                 trace::kCreate | trace::kTrunc | trace::kWrOnly);
+    }
+    for (int step = 1; step <= cfg.steps; ++step) {
+      co_await h.compute(r, 120'000);
+      co_await h.world().reduce(r, 0, 128);  // diagnostics to rank 0
+      if (r == 0) co_await posix.write(r, hist, 8192);
+      if (step % (cfg.checkpoint_every * 2) == 0) {
+        co_await h.world().gather(r, 0, cfg.bytes_per_rank / 2);
+        if (r == 0) {
+          const int fd = co_await posix.open(
+              r, "restart_dir/DATA_RESTART." + std::to_string(step),
+              trace::kCreate | trace::kTrunc | trace::kWrOnly);
+          co_await posix.write(
+              r, fd,
+              cfg.bytes_per_rank / 2 * static_cast<std::uint64_t>(cfg.nranks));
+          co_await posix.close(r, fd);
+        }
+        co_await h.world().barrier(r);
+      }
+    }
+    if (r == 0) co_await posix.close(r, hist);
+  });
+}
+
+void run_milc(Harness& h, bool parallel) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  h.preload("milc.in", 4096);
+  const int trajectories = 4;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    if (r == 0) {
+      const int fd = co_await posix.open(r, "milc.in", trace::kRdOnly);
+      co_await posix.read(r, fd, 4096);
+      co_await posix.close(r, fd);
+    }
+    co_await h.world().bcast(r, 0, 4096);
+
+    for (int t = 0; t < trajectories; ++t) {
+      for (int s = 0; s < 5; ++s) {
+        co_await h.compute(r, 300'000);
+        co_await h.world().allreduce(r, 64);  // plaquette
+      }
+      const std::string lat = "milc_lat." + std::to_string(t);
+      if (parallel) {
+        // save_parallel: every rank writes its lattice sites into the
+        // shared file at an equally-spaced offset: N-1 strided.
+        co_await h.world().barrier(r);
+        const int fd = co_await posix.open(
+            r, lat, trace::kCreate | trace::kWrOnly);
+        co_await posix.pwrite(
+            r, fd, 1024 + static_cast<Offset>(r) * cfg.bytes_per_rank,
+            cfg.bytes_per_rank);
+        co_await posix.close(r, fd);
+        co_await h.world().barrier(r);
+      } else {
+        // save_serial: rank 0 gathers and writes everything: 1-1.
+        co_await h.world().gather(r, 0, cfg.bytes_per_rank);
+        if (r == 0) {
+          const int fd = co_await posix.open(
+              r, lat, trace::kCreate | trace::kTrunc | trace::kWrOnly);
+          co_await posix.write(r, fd, 1024);  // lattice header
+          co_await posix.write(
+              r, fd, cfg.bytes_per_rank * static_cast<std::uint64_t>(cfg.nranks));
+          co_await posix.close(r, fd);
+        }
+        co_await h.world().barrier(r);
+      }
+    }
+  });
+}
+
+void run_vasp(Harness& h) {
+  iolib::PosixIo posix(h.ctx());
+  // The wavefunction/structure inputs dominate the run's bytes: every
+  // rank reads them fully (N-1 consecutive, Table 3), while rank 0
+  // appends the OUTCAR log (the 1-1 entry).
+  const Offset kWavecar = 4 * 1024 * 1024;
+  h.preload("WAVECAR", kWavecar);
+  h.preload("POSCAR", 16384);
+  const int ionic_steps = 5;
+
+  h.run([&](Rank r) -> sim::Task<void> {
+    int fd = co_await posix.open(r, "POSCAR", trace::kRdOnly);
+    co_await posix.read(r, fd, 16384);
+    co_await posix.close(r, fd);
+    fd = co_await posix.open(r, "WAVECAR", trace::kRdOnly);
+    for (Offset off = 0; off < kWavecar; off += 512 * 1024) {
+      co_await posix.read(r, fd, 512 * 1024);
+    }
+    co_await posix.close(r, fd);
+    co_await h.world().barrier(r);
+
+    int outcar = -1;
+    if (r == 0) {
+      outcar = co_await posix.open(r, "OUTCAR",
+                                   trace::kCreate | trace::kTrunc | trace::kWrOnly);
+    }
+    for (int step = 0; step < ionic_steps; ++step) {
+      co_await h.compute(r, 500'000);
+      co_await h.world().allreduce(r, 128);  // charge density mixing
+      co_await h.world().reduce(r, 0, 1024);
+      if (r == 0) co_await posix.write(r, outcar, 16384);
+    }
+    if (r == 0) {
+      co_await posix.write(r, outcar, 65536);  // final elastic summary
+      co_await posix.close(r, outcar);
+      const int cfd = co_await posix.open(
+          r, "CONTCAR", trace::kCreate | trace::kTrunc | trace::kWrOnly);
+      co_await posix.write(r, cfd, 16384);
+      co_await posix.close(r, cfd);
+    }
+  });
+}
+
+}  // namespace pfsem::apps

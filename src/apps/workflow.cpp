@@ -1,0 +1,98 @@
+// Multi-application workflow model (paper Section 7 / Section 3.5):
+// simulation data pipelined to an analysis job through the PFS, with no
+// MPI communication between the two jobs. The producer half of the ranks
+// writes each snapshot as an N/2-1 shared file and then creates a ".done"
+// marker; the consumer half polls for the marker and reads the snapshot.
+//
+// pipelined == true : consumers open the snapshot only after the marker
+//   exists. Every producer write is followed by the producer's close and
+//   the consumer's open (condition 4 of Section 5.2), so session
+//   semantics suffices for the data — but the *marker visibility* is a
+//   cross-job metadata dependency that MPI-based happens-before cannot
+//   order (core::detect_metadata_dependencies flags it).
+//
+// pipelined == false: consumers pre-open every snapshot file at startup
+//   (a common "keep the fd hot" anti-pattern); their sessions predate the
+//   producers' writes, so reads are RAW-D conflicts under session
+//   semantics and the data demands commit (or strong) semantics.
+
+#include <string>
+
+#include "pfsem/apps/programs.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::apps {
+
+void run_workflow(Harness& h, bool pipelined) {
+  const auto& cfg = h.config();
+  iolib::PosixIo posix(h.ctx());
+  const int half = cfg.nranks / 2;
+  const int snapshots = 3;
+  const std::uint64_t slice = cfg.bytes_per_rank;
+
+  // Producer-job and consumer-job communicators (no inter-job channel).
+  mpi::Group producers, consumers;
+  for (Rank r = 0; r < half; ++r) producers.push_back(r);
+  for (Rank r = half; r < cfg.nranks; ++r) consumers.push_back(r);
+
+  h.run([&, half](Rank r) -> sim::Task<void> {
+    const bool is_producer = r < half;
+    if (is_producer) {
+      for (int k = 0; k < snapshots; ++k) {
+        // Simulate, then write this rank's slice of the snapshot.
+        co_await h.compute(r, 400'000);
+        // Producer-job time step (collectives stay inside the job).
+        co_await h.world().collective(r, trace::CollectiveKind::Allreduce,
+                                      kNoRank, 8, producers);
+        const std::string data = "workflow/snap_" + std::to_string(k) + ".data";
+        const int fd = co_await posix.open(r, data, trace::kCreate | trace::kWrOnly);
+        co_await posix.pwrite(r, fd, static_cast<Offset>(r) * slice, slice);
+        co_await posix.close(r, fd);
+        co_await h.world().barrier(r, producers);
+        if (r == 0) {
+          // Publish the completion marker once every slice is closed.
+          const std::string done = "workflow/snap_" + std::to_string(k) + ".done";
+          const int dfd = co_await posix.open(r, done, trace::kCreate | trace::kWrOnly);
+          co_await posix.close(r, dfd);
+        }
+      }
+    } else {
+      // Analysis job: no MPI edge to the producers — coupling is only
+      // through the file system.
+      std::vector<int> eager_fds;
+      if (!pipelined) {
+        for (int k = 0; k < snapshots; ++k) {
+          const std::string data = "workflow/snap_" + std::to_string(k) + ".data";
+          eager_fds.push_back(
+              co_await posix.open(r, data, trace::kCreate | trace::kRdWr));
+        }
+      }
+      for (int k = 0; k < snapshots; ++k) {
+        const std::string done = "workflow/snap_" + std::to_string(k) + ".done";
+        // Poll for the marker (observing a namespace mutation made by the
+        // other job).
+        while ((co_await posix.access(r, done)) != 0) {
+          co_await h.engine().delay(2'000'000);  // 2 ms poll interval
+        }
+        const std::string data = "workflow/snap_" + std::to_string(k) + ".data";
+        int fd;
+        if (pipelined) {
+          fd = co_await posix.open(r, data, trace::kRdOnly);
+        } else {
+          fd = eager_fds[static_cast<std::size_t>(k)];
+        }
+        // Read the slice this analysis rank is responsible for.
+        const Offset off = static_cast<Offset>(r - half) * slice;
+        co_await posix.pread(r, fd, off, slice);
+        co_await h.compute(r, 200'000);  // analysis kernel
+        if (pipelined) co_await posix.close(r, fd);
+        co_await h.world().barrier(r, consumers);
+      }
+      if (!pipelined) {
+        for (int fd : eager_fds) co_await posix.close(r, fd);
+      }
+    }
+  });
+}
+
+}  // namespace pfsem::apps

@@ -1,0 +1,63 @@
+#include "pfsem/core/conflict.hpp"
+
+#include <algorithm>
+
+#include "pfsem/core/overlap.hpp"
+
+namespace pfsem::core {
+
+namespace {
+
+void note(ConflictMatrix& m, ConflictKind kind, bool same) {
+  ++m.count;
+  if (kind == ConflictKind::WAW) {
+    (same ? m.waw_s : m.waw_d) = true;
+  } else {
+    (same ? m.raw_s : m.raw_d) = true;
+  }
+}
+
+}  // namespace
+
+ConflictReport detect_conflicts(const AccessLog& log, ConflictOptions opts) {
+  ConflictReport report;
+  for (const auto& [path, fl] : log.files) {
+    std::size_t kept_for_file = 0;
+    const auto pairs = detect_overlaps(fl.accesses);
+    for (const auto& p : pairs) {
+      const Access* a = &fl.accesses[p.first];
+      const Access* b = &fl.accesses[p.second];
+      if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
+      if (a->type != AccessType::Write) continue;  // WAR never conflicts
+      ++report.potential_pairs;
+
+      const ConflictKind kind =
+          b->type == AccessType::Write ? ConflictKind::WAW : ConflictKind::RAW;
+      const bool same = a->rank == b->rank;
+
+      // Commit condition: no commit by a's process in (t1, t2).
+      const bool under_commit = a->t_commit > b->t;
+      // Session condition: not (t1 < tclose1 < topen2 < t2).
+      const bool under_session = !(a->t_close < b->t_open);
+
+      if (!under_commit && !under_session) continue;
+      if (under_commit) note(report.commit, kind, same);
+      if (under_session) note(report.session, kind, same);
+      if (kept_for_file < opts.max_examples_per_file) {
+        Conflict c;
+        c.path = path;
+        c.first = *a;
+        c.second = *b;
+        c.kind = kind;
+        c.same_process = same;
+        c.under_commit = under_commit;
+        c.under_session = under_session;
+        report.conflicts.push_back(std::move(c));
+        ++kept_for_file;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pfsem::core

@@ -1,0 +1,39 @@
+#pragma once
+// Metadata-operation census (Section 6.4, Figure 3).
+//
+// Counts which POSIX metadata/utility operations a run used and which
+// layer issued them (MPI-IO library, HDF5, or application/other), over
+// the same monitored-call set as the paper's footnote 3.
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pfsem/trace/bundle.hpp"
+
+namespace pfsem::core {
+
+struct MetadataCensus {
+  /// usage[func] = set of issuing layers with call counts.
+  std::map<trace::Func, std::map<trace::Layer, std::uint64_t>> usage;
+
+  [[nodiscard]] bool used(trace::Func f) const { return usage.contains(f); }
+  [[nodiscard]] std::uint64_t total(trace::Func f) const {
+    auto it = usage.find(f);
+    if (it == usage.end()) return 0;
+    std::uint64_t n = 0;
+    for (const auto& [layer, c] : it->second) n += c;
+    return n;
+  }
+  /// Distinct metadata operations used at all.
+  [[nodiscard]] std::size_t distinct_ops() const { return usage.size(); }
+};
+
+/// Census over the POSIX metadata records of a bundle.
+[[nodiscard]] MetadataCensus census_metadata(const trace::TraceBundle& bundle);
+
+/// The monitored operations in a stable presentation order (Figure 3 axis).
+[[nodiscard]] const std::vector<trace::Func>& monitored_metadata_funcs();
+
+}  // namespace pfsem::core

@@ -1,0 +1,33 @@
+#pragma once
+// Offset reconstruction (paper Section 5.1).
+//
+// POSIX traces do not carry the file offset for offset-implicit calls
+// (read/write); the analysis must rebuild it from open flags (O_APPEND /
+// O_TRUNC), lseek whence values (SEEK_SET/CUR/END), and the byte counts of
+// prior operations, tracking the most up-to-date size of every file.
+// Records are processed in timestamp order across ranks (local clocks —
+// the same approximation the paper argues is safe given that clock skew
+// is orders of magnitude smaller than synchronized-operation spacing).
+//
+// The tracker deliberately ignores Record::offset for read/write calls —
+// that field is simulation ground truth used only by tests to validate
+// this reconstruction.
+
+#include "pfsem/core/access.hpp"
+#include "pfsem/trace/bundle.hpp"
+
+namespace pfsem::core {
+
+struct OffsetTrackerOptions {
+  /// If true, throw when the reconstructed offset of a read/write
+  /// disagrees with the ground-truth offset recorded by the simulator.
+  bool validate_against_ground_truth = false;
+};
+
+/// Rebuild byte-level accesses (with open/commit/close annotations) from a
+/// raw trace bundle. Only Layer::Posix records participate; higher-layer
+/// records are bookkeeping for attribution, exactly as in Recorder.
+[[nodiscard]] AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
+                                             OffsetTrackerOptions opts = {});
+
+}  // namespace pfsem::core

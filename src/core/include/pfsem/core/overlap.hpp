@@ -1,0 +1,44 @@
+#pragma once
+// Overlap detection — Algorithm 1 of the paper.
+//
+// Accesses are sorted by starting offset; for each tuple we scan forward
+// until the next start offset passes our end offset, at which point no
+// later tuple can overlap (starts are sorted). Worst case quadratic (all
+// intervals overlapping), in practice near-linear — the claim the
+// bench_perf_overlap binary measures against a naive O(n^2) baseline.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pfsem/core/access.hpp"
+
+namespace pfsem::core {
+
+/// Indices (into the input span) of two overlapping accesses.
+struct OverlapPair {
+  std::size_t first = 0;
+  std::size_t second = 0;
+};
+
+struct OverlapOptions {
+  /// Skip pairs where neither side is a write (a read-read overlap can
+  /// never conflict; Section 4.1). Keeps read-heavy workloads like LBANN
+  /// from generating millions of irrelevant pairs.
+  bool writes_only = true;
+};
+
+/// Algorithm 1: all overlapping pairs among `accesses`.
+[[nodiscard]] std::vector<OverlapPair> detect_overlaps(
+    std::span<const Access> accesses, OverlapOptions opts = {});
+
+/// Naive O(n^2) reference used as the property-test oracle and the
+/// baseline in the performance benches.
+[[nodiscard]] std::vector<OverlapPair> detect_overlaps_naive(
+    std::span<const Access> accesses, OverlapOptions opts = {});
+
+/// The paper's process-pair overlap table P[ri][rj] (Algorithm 1 output).
+[[nodiscard]] std::vector<std::vector<bool>> overlap_rank_table(
+    std::span<const Access> accesses, int nranks);
+
+}  // namespace pfsem::core

@@ -1,0 +1,65 @@
+#pragma once
+// Conflict remedies (paper Section 4.1): "A programmer running the
+// application on a PFS with weak consistency can prevent the conflicts by
+// inserting commit operations at suitable points, or the designer of a
+// parallel I/O library can insert commit operations automatically."
+//
+// Given a conflict report, this module computes the minimal set of
+// synchronization insertions that clears every cross-process conflict:
+//
+//   commit semantics : an fsync by the first accessor's process, on the
+//     conflicting file, somewhere in the (t1, t2) window of each pair. A
+//     single fsync can clear many pairs; we cover each (rank, file)'s
+//     windows greedily (classic interval-point covering, which is optimal
+//     for this 1-D problem).
+//
+//   session semantics: a close by the writer followed by a (re)open by the
+//     second accessor inside the window.
+//
+// The FLASH case is the worked example: one fsync per metadata flush epoch
+// (which H5Fflush already performs) is exactly the suggested set.
+
+#include <string>
+#include <vector>
+
+#include "pfsem/core/conflict.hpp"
+
+namespace pfsem::core {
+
+/// One suggested insertion: process `rank` should commit `path` somewhere
+/// in (after, before) — any simulated time strictly inside works.
+struct CommitSuggestion {
+  std::string path;
+  Rank rank = kNoRank;
+  SimTime after = 0;   ///< latest first-access entry among covered pairs
+  SimTime before = 0;  ///< earliest second-access entry among covered pairs
+  std::uint64_t pairs_cleared = 0;
+};
+
+struct RemedyPlan {
+  /// Minimal fsync insertions clearing all cross-process commit-semantics
+  /// conflicts (same-process pairs are listed too when strict = true).
+  std::vector<CommitSuggestion> commits;
+  /// Pairs that cannot be cleared by any commit insertion (the two
+  /// accesses are too interleaved: t windows are empty).
+  std::uint64_t uncoverable = 0;
+};
+
+struct RemedyOptions {
+  /// Include same-process conflicts (for BurstFS-class PFSs that do not
+  /// order same-process accesses either).
+  bool strict = false;
+};
+
+/// Compute the minimal commit-insertion plan for `log`.
+[[nodiscard]] RemedyPlan suggest_commits(const AccessLog& log,
+                                         RemedyOptions opts = {});
+
+/// Re-run the commit-semantics conflict check as if every suggestion in
+/// `plan` had been applied (used to verify the plan actually clears the
+/// conflicts).
+[[nodiscard]] ConflictMatrix verify_plan(const AccessLog& log,
+                                         const RemedyPlan& plan,
+                                         RemedyOptions opts = {});
+
+}  // namespace pfsem::core

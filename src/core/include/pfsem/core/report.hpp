@@ -1,0 +1,64 @@
+#pragma once
+// Per-run report generation, mirroring the detailed reports the paper
+// publishes alongside its traces (Section 7: "a detailed report for each
+// application run, including information such as I/O sizes, function
+// counters, conflicts detected for each file, etc.").
+
+#include <array>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "pfsem/core/access.hpp"
+#include "pfsem/core/conflict.hpp"
+#include "pfsem/core/pattern.hpp"
+#include "pfsem/trace/bundle.hpp"
+
+namespace pfsem::core {
+
+/// Power-of-two request-size histogram (Darshan-style buckets).
+struct SizeHistogram {
+  // bucket k counts requests with size in [2^k, 2^(k+1)); bucket 0 also
+  // holds zero/1-byte requests; the last bucket is open-ended.
+  static constexpr std::size_t kBuckets = 32;
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  void add(std::uint64_t size);
+  [[nodiscard]] std::uint64_t total() const;
+  /// Human label for bucket k ("4KiB-8KiB").
+  [[nodiscard]] static std::string bucket_label(std::size_t k);
+};
+
+struct FileReport {
+  std::string path;
+  std::uint64_t reads = 0, writes = 0;
+  std::uint64_t read_bytes = 0, write_bytes = 0;
+  std::uint64_t session_conflicts = 0, commit_conflicts = 0;
+  FileLayout layout = FileLayout::Consecutive;
+};
+
+struct RunReport {
+  int nranks = 0;
+  std::uint64_t records = 0;
+  /// Per traced function: call count.
+  std::map<trace::Func, std::uint64_t> function_counts;
+  /// Per layer: record count.
+  std::map<trace::Layer, std::uint64_t> layer_counts;
+  SizeHistogram read_sizes;
+  SizeHistogram write_sizes;
+  std::map<std::string, FileReport> files;
+  HighLevelPattern pattern;
+  TransitionMix local, global;
+  /// Total simulated wall time covered by the trace.
+  SimTime span = 0;
+};
+
+/// Build the full report for one run.
+[[nodiscard]] RunReport build_report(const trace::TraceBundle& bundle,
+                                     const AccessLog& log,
+                                     const ConflictReport& conflicts);
+
+/// Render as human-readable text.
+void print_report(const RunReport& report, std::ostream& os);
+
+}  // namespace pfsem::core

@@ -1,0 +1,52 @@
+#pragma once
+// EXTENSION (paper Section 2.3): tunable, per-file consistency.
+//
+// Several systems (Kuhn et al.; Vilayannur et al.) let applications pick
+// consistency semantics per file or per open via hints. The paper's
+// whole-application verdict is conservative: one conflicting metadata
+// file forces a model on every file. This module computes the weakest
+// safe model *per file*, plus an aggregate showing how much of the
+// application's I/O could run relaxed if the PFS supported per-file
+// tuning — e.g. LAMMPS-ADIOS needs commit/strong semantics only for the
+// tiny md.idx index while the bulk data subfiles tolerate eventual
+// consistency.
+
+#include <string>
+#include <vector>
+
+#include "pfsem/core/conflict.hpp"
+#include "pfsem/vfs/pfs.hpp"
+
+namespace pfsem::core {
+
+struct FileTuning {
+  std::string path;
+  /// Weakest safe model for this file (same-process ordering assumed).
+  vfs::ConsistencyModel weakest = vfs::ConsistencyModel::Eventual;
+  std::uint64_t bytes = 0;  ///< data bytes accessed in this file
+  std::uint64_t session_pairs = 0;
+  std::uint64_t commit_pairs = 0;
+};
+
+struct TuningReport {
+  std::vector<FileTuning> files;  ///< sorted by path
+  std::uint64_t total_bytes = 0;
+  std::uint64_t relaxed_bytes = 0;  ///< bytes on files weaker than strong
+  std::uint64_t eventual_bytes = 0; ///< bytes on conflict-free files
+
+  [[nodiscard]] double relaxed_fraction() const {
+    return total_bytes == 0
+               ? 1.0
+               : static_cast<double>(relaxed_bytes) / static_cast<double>(total_bytes);
+  }
+  [[nodiscard]] double eventual_fraction() const {
+    return total_bytes == 0
+               ? 1.0
+               : static_cast<double>(eventual_bytes) / static_cast<double>(total_bytes);
+  }
+};
+
+/// Per-file weakest-model assignment from the access log.
+[[nodiscard]] TuningReport per_file_tuning(const AccessLog& log);
+
+}  // namespace pfsem::core

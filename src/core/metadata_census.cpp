@@ -1,0 +1,31 @@
+#include "pfsem/core/metadata_census.hpp"
+
+namespace pfsem::core {
+
+MetadataCensus census_metadata(const trace::TraceBundle& bundle) {
+  MetadataCensus census;
+  for (const auto& rec : bundle.records) {
+    if (rec.layer != trace::Layer::Posix) continue;
+    if (!trace::is_metadata_func(rec.func)) continue;
+    ++census.usage[rec.func][rec.origin];
+  }
+  return census;
+}
+
+const std::vector<trace::Func>& monitored_metadata_funcs() {
+  using trace::Func;
+  static const std::vector<Func> funcs = {
+      Func::mmap,    Func::msync,   Func::stat,     Func::lstat,
+      Func::fstat,   Func::getcwd,  Func::mkdir,    Func::rmdir,
+      Func::chdir,   Func::link,    Func::unlink,   Func::symlink,
+      Func::readlink, Func::rename, Func::chmod,    Func::chown,
+      Func::utime,   Func::opendir, Func::readdir,  Func::closedir,
+      Func::rewinddir, Func::mknod, Func::fcntl,    Func::dup,
+      Func::dup2,    Func::pipe,    Func::mkfifo,   Func::umask,
+      Func::fileno,  Func::access,  Func::tmpfile,  Func::remove,
+      Func::truncate, Func::ftruncate,
+  };
+  return funcs;
+}
+
+}  // namespace pfsem::core

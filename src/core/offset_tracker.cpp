@@ -1,0 +1,174 @@
+#include "pfsem/core/offset_tracker.hpp"
+
+#include <algorithm>
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::core {
+
+namespace {
+
+struct FdState {
+  std::string path;
+  Offset offset = 0;
+  int flags = 0;
+};
+
+}  // namespace
+
+AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
+                               OffsetTrackerOptions opts) {
+  using trace::Func;
+
+  // Sort POSIX records by (local) timestamp, the order the paper uses.
+  std::vector<std::size_t> order;
+  order.reserve(bundle.records.size());
+  for (std::size_t i = 0; i < bundle.records.size(); ++i) {
+    if (bundle.records[i].layer == trace::Layer::Posix) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bundle.records[a].tstart < bundle.records[b].tstart;
+  });
+
+  AccessLog log;
+  log.nranks = bundle.nranks;
+  std::map<std::pair<Rank, int>, FdState> fds;
+  std::map<std::string, Offset> sizes;  // most up-to-date size per file
+
+  auto add_access = [&](const trace::Record& rec, std::size_t index,
+                        const std::string& path, Offset off, std::uint64_t len,
+                        AccessType type) {
+    if (len == 0) return;
+    Access a;
+    a.t = rec.tstart;
+    a.rank = rec.rank;
+    a.ext = {off, off + len};
+    a.type = type;
+    a.record_index = index;
+    auto& fl = log.files[path];
+    if (fl.path.empty()) fl.path = path;
+    fl.accesses.push_back(a);
+    if (type == AccessType::Write) {
+      Offset& size = sizes[path];
+      size = std::max(size, a.ext.end);
+    }
+    if (opts.validate_against_ground_truth &&
+        (rec.func == Func::read || rec.func == Func::write ||
+         rec.func == Func::pread || rec.func == Func::pwrite)) {
+      require(off == rec.offset,
+              "offset reconstruction mismatch on " + path + ": got " +
+                  std::to_string(off) + ", truth " + std::to_string(rec.offset));
+    }
+  };
+
+  for (std::size_t index : order) {
+    const trace::Record& rec = bundle.records[index];
+    const std::pair<Rank, int> key{rec.rank, rec.fd};
+    switch (rec.func) {
+      case Func::open: {
+        require(rec.ret >= 0, "trace contains failed open");
+        FdState st;
+        st.path = rec.path;
+        st.flags = rec.flags;
+        if (rec.flags & trace::kTrunc) sizes[st.path] = 0;
+        st.offset = 0;
+        fds[{rec.rank, static_cast<int>(rec.ret)}] = st;
+        auto& fl = log.files[rec.path];
+        if (fl.path.empty()) fl.path = rec.path;
+        fl.opens[rec.rank].push_back(rec.tstart);
+        break;
+      }
+      case Func::close: {
+        auto it = fds.find(key);
+        if (it != fds.end()) {
+          auto& fl = log.files[it->second.path];
+          fl.closes[rec.rank].push_back(rec.tstart);
+          fl.commits[rec.rank].push_back(rec.tstart);
+          fds.erase(it);
+        }
+        break;
+      }
+      case Func::read:
+      case Func::write: {
+        auto it = fds.find(key);
+        require(it != fds.end(), "read/write on unknown fd in trace");
+        FdState& st = it->second;
+        const bool is_write = rec.func == Func::write;
+        Offset off = st.offset;
+        if (is_write && (st.flags & trace::kAppend)) off = sizes[st.path];
+        const auto len = static_cast<std::uint64_t>(rec.ret);
+        add_access(rec, index, st.path, off, len,
+                   is_write ? AccessType::Write : AccessType::Read);
+        st.offset = off + len;
+        break;
+      }
+      case Func::pread:
+      case Func::pwrite: {
+        auto it = fds.find(key);
+        require(it != fds.end(), "pread/pwrite on unknown fd in trace");
+        add_access(rec, index, it->second.path, rec.offset,
+                   static_cast<std::uint64_t>(rec.ret),
+                   rec.func == Func::pwrite ? AccessType::Write
+                                            : AccessType::Read);
+        break;
+      }
+      case Func::lseek: {
+        auto it = fds.find(key);
+        require(it != fds.end(), "lseek on unknown fd in trace");
+        FdState& st = it->second;
+        const auto delta = static_cast<std::int64_t>(rec.offset);
+        std::int64_t base = 0;
+        switch (rec.flags) {
+          case trace::kSeekSet: base = 0; break;
+          case trace::kSeekCur: base = static_cast<std::int64_t>(st.offset); break;
+          case trace::kSeekEnd:
+            base = static_cast<std::int64_t>(sizes[st.path]);
+            break;
+          default: require(false, "bad whence in trace");
+        }
+        st.offset = static_cast<Offset>(base + delta);
+        break;
+      }
+      case Func::fsync:
+      case Func::fdatasync: {
+        auto it = fds.find(key);
+        require(it != fds.end(), "fsync on unknown fd in trace");
+        log.files[it->second.path].commits[rec.rank].push_back(rec.tstart);
+        break;
+      }
+      case Func::ftruncate: {
+        auto it = fds.find(key);
+        if (it != fds.end()) sizes[it->second.path] = rec.offset;
+        break;
+      }
+      default:
+        break;  // metadata/utility ops don't contribute byte accesses
+    }
+  }
+
+  // Annotate every access with (t_open, t_commit, t_close) per Section 5.2.
+  for (auto& [path, fl] : log.files) {
+    for (auto& [rank, v] : fl.opens) std::sort(v.begin(), v.end());
+    for (auto& [rank, v] : fl.closes) std::sort(v.begin(), v.end());
+    for (auto& [rank, v] : fl.commits) std::sort(v.begin(), v.end());
+    std::stable_sort(fl.accesses.begin(), fl.accesses.end(),
+                     [](const Access& a, const Access& b) { return a.t < b.t; });
+    for (auto& a : fl.accesses) {
+      if (auto it = fl.opens.find(a.rank); it != fl.opens.end()) {
+        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
+        a.t_open = ub == it->second.begin() ? 0 : *std::prev(ub);
+      }
+      auto first_after = [&](const std::map<Rank, std::vector<SimTime>>& m) {
+        auto it = m.find(a.rank);
+        if (it == m.end()) return kTimeNever;
+        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
+        return ub == it->second.end() ? kTimeNever : *ub;
+      };
+      a.t_commit = first_after(fl.commits);
+      a.t_close = first_after(fl.closes);
+    }
+  }
+  return log;
+}
+
+}  // namespace pfsem::core

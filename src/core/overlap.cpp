@@ -1,0 +1,76 @@
+#include "pfsem/core/overlap.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pfsem::core {
+
+namespace {
+
+/// Canonicalize so pair ordering is deterministic regardless of algorithm.
+void canonicalize(std::vector<OverlapPair>& pairs) {
+  for (auto& p : pairs) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const OverlapPair& a, const OverlapPair& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  });
+}
+
+bool relevant(const Access& a, const Access& b, const OverlapOptions& opts) {
+  return !opts.writes_only || a.type == AccessType::Write ||
+         b.type == AccessType::Write;
+}
+
+}  // namespace
+
+std::vector<OverlapPair> detect_overlaps(std::span<const Access> accesses,
+                                         OverlapOptions opts) {
+  std::vector<std::size_t> order(accesses.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return accesses[a].ext.begin < accesses[b].ext.begin;
+  });
+  std::vector<OverlapPair> pairs;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Access& ai = accesses[order[i]];
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const Access& aj = accesses[order[j]];
+      if (aj.ext.begin >= ai.ext.end) break;  // sorted starts: no more overlaps
+      if (ai.ext.empty() || aj.ext.empty()) continue;
+      if (!relevant(ai, aj, opts)) continue;
+      pairs.push_back({order[i], order[j]});
+    }
+  }
+  canonicalize(pairs);
+  return pairs;
+}
+
+std::vector<OverlapPair> detect_overlaps_naive(std::span<const Access> accesses,
+                                               OverlapOptions opts) {
+  std::vector<OverlapPair> pairs;
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+      if (!accesses[i].ext.overlaps(accesses[j].ext)) continue;
+      if (!relevant(accesses[i], accesses[j], opts)) continue;
+      pairs.push_back({i, j});
+    }
+  }
+  canonicalize(pairs);
+  return pairs;
+}
+
+std::vector<std::vector<bool>> overlap_rank_table(std::span<const Access> accesses,
+                                                  int nranks) {
+  std::vector table(static_cast<std::size_t>(nranks),
+                    std::vector<bool>(static_cast<std::size_t>(nranks), false));
+  for (const auto& p : detect_overlaps(accesses, {.writes_only = false})) {
+    const auto ri = static_cast<std::size_t>(accesses[p.first].rank);
+    const auto rj = static_cast<std::size_t>(accesses[p.second].rank);
+    table[ri][rj] = true;
+    table[rj][ri] = true;
+  }
+  return table;
+}
+
+}  // namespace pfsem::core

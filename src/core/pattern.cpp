@@ -1,0 +1,309 @@
+#include "pfsem/core/pattern.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pfsem::core {
+
+const char* to_string(FileLayout l) {
+  switch (l) {
+    case FileLayout::Consecutive: return "consecutive";
+    case FileLayout::Strided: return "strided";
+    case FileLayout::StridedCyclic: return "strided-cyclic";
+    case FileLayout::Random: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+void count_transitions(TransitionMix& mix, const std::vector<const Access*>& seq) {
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const Offset prev_end = seq[i - 1]->ext.end;
+    const Offset begin = seq[i]->ext.begin;
+    if (begin == prev_end) {
+      ++mix.consecutive;
+    } else if (begin > prev_end) {
+      ++mix.monotonic;
+    } else {
+      ++mix.random;
+    }
+  }
+}
+
+/// Data accesses of the file: metadata-sized ops filtered out, and only
+/// the dominant access type kept (a verification read-back must not make
+/// a write-streamed file look random, and vice versa). Falls back to the
+/// unfiltered list if the filter removes everything.
+std::vector<const Access*> data_accesses(const FileLog& file,
+                                         const PatternOptions& opts) {
+  std::uint64_t wbytes = 0, rbytes = 0;
+  for (const auto& a : file.accesses) {
+    if (a.ext.size() < opts.min_data_bytes) continue;
+    (a.type == AccessType::Write ? wbytes : rbytes) += a.ext.size();
+  }
+  const AccessType dominant =
+      wbytes >= rbytes ? AccessType::Write : AccessType::Read;
+  std::vector<const Access*> out;
+  for (const auto& a : file.accesses) {
+    if (a.ext.size() >= opts.min_data_bytes && a.type == dominant) {
+      out.push_back(&a);
+    }
+  }
+  if (out.empty()) {
+    for (const auto& a : file.accesses) out.push_back(&a);
+  }
+  return out;
+}
+
+/// True if every adjacent transition moves forward by at most `gap` bytes
+/// (interspersed metadata is allowed to fill small gaps).
+bool is_consecutive(const std::vector<const Access*>& seq, Offset gap = 0) {
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const Offset begin = seq[i]->ext.begin;
+    const Offset prev_end = seq[i - 1]->ext.end;
+    if (begin < prev_end || begin > prev_end + gap) return false;
+  }
+  return true;
+}
+
+bool is_monotonic(const std::vector<const Access*>& seq) {
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i]->ext.begin < seq[i - 1]->ext.end) return false;
+  }
+  return true;
+}
+
+/// All gaps between successive accesses equal (arithmetic progression of
+/// starts with constant stride >= access size).
+bool is_arithmetic(const std::vector<const Access*>& seq) {
+  if (seq.size() < 2) return false;
+  const auto stride = static_cast<std::int64_t>(seq[1]->ext.begin) -
+                      static_cast<std::int64_t>(seq[0]->ext.begin);
+  if (stride <= 0) return false;
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const auto d = static_cast<std::int64_t>(seq[i]->ext.begin) -
+                   static_cast<std::int64_t>(seq[i - 1]->ext.begin);
+    if (d != stride) return false;
+  }
+  return true;
+}
+
+/// Offsets of one "round" (one access per rank), sorted by rank, equally
+/// spaced — the paper's "process i accesses offset a*i+b" phase shape.
+/// Returns the stride a, or 0 when the round is not affine.
+std::int64_t round_stride(std::vector<std::pair<Rank, Offset>> round) {
+  if (round.size() < 2) return 0;
+  std::sort(round.begin(), round.end());
+  const auto stride = static_cast<std::int64_t>(round[1].second) -
+                      static_cast<std::int64_t>(round[0].second);
+  if (stride <= 0) return 0;
+  for (std::size_t i = 1; i < round.size(); ++i) {
+    const auto d = static_cast<std::int64_t>(round[i].second) -
+                   static_cast<std::int64_t>(round[i - 1].second);
+    if (d != stride) return 0;
+  }
+  return stride;
+}
+
+}  // namespace
+
+TransitionMix local_pattern(const AccessLog& log) {
+  TransitionMix mix;
+  for (const auto& [path, file] : log.files) {
+    std::map<Rank, std::vector<const Access*>> per_rank;
+    for (const auto& a : file.accesses) per_rank[a.rank].push_back(&a);
+    for (const auto& [rank, seq] : per_rank) count_transitions(mix, seq);
+  }
+  return mix;
+}
+
+TransitionMix global_pattern(const AccessLog& log) {
+  TransitionMix mix;
+  for (const auto& [path, file] : log.files) {
+    std::vector<const Access*> seq;
+    seq.reserve(file.accesses.size());
+    for (const auto& a : file.accesses) seq.push_back(&a);  // time order
+    count_transitions(mix, seq);
+  }
+  return mix;
+}
+
+FileLayout classify_file_layout(const FileLog& file, PatternOptions opts) {
+  const auto data = data_accesses(file, opts);
+  if (data.size() < 2) return FileLayout::Consecutive;
+
+  std::map<Rank, std::vector<const Access*>> per_rank;
+  for (const auto* a : data) per_rank[a->rank].push_back(a);
+
+  // Rule 1: every rank's own stream is consecutive (small metadata-fill
+  // gaps tolerated). A single writer, or every rank covering the same
+  // range, is the paper's "consecutive" class; per-process segments at
+  // offset a*i+b (tiled or gapped) are its "strided" class.
+  const Offset gap_tol = opts.consecutive_gap_tolerance;
+  const bool all_rank_consecutive = std::all_of(
+      per_rank.begin(), per_rank.end(),
+      [gap_tol](const auto& kv) { return is_consecutive(kv.second, gap_tol); });
+  if (all_rank_consecutive) {
+    if (per_rank.size() == 1) return FileLayout::Consecutive;
+    // Per-rank overall segments.
+    std::vector<Extent> segs;
+    for (const auto& [rank, seq] : per_rank) {
+      segs.push_back({seq.front()->ext.begin, seq.back()->ext.end});
+    }
+    std::sort(segs.begin(), segs.end(),
+              [](const Extent& a, const Extent& b) { return a.begin < b.begin; });
+    const bool identical = std::all_of(
+        segs.begin(), segs.end(), [&](const Extent& e) { return e == segs[0]; });
+    if (identical) return FileLayout::Consecutive;  // e.g. everyone reads all
+    bool disjoint = true;
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      if (segs[i].begin < segs[i - 1].end) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (disjoint) return FileLayout::Strided;  // one segment per process
+  }
+
+  // Rule 2: round structure — split the time-ordered stream each time a
+  // rank repeats; affine rounds repeated over >= 2 rounds are the
+  // collective-I/O "strided cyclic" shape, a single affine round is
+  // "strided".
+  {
+    std::vector<std::vector<std::pair<Rank, Offset>>> rounds;
+    std::set<Rank> seen;
+    rounds.emplace_back();
+    for (const auto* a : data) {
+      if (seen.contains(a->rank)) {
+        rounds.emplace_back();
+        seen.clear();
+      }
+      seen.insert(a->rank);
+      rounds.back().emplace_back(a->rank, a->ext.begin);
+    }
+    std::size_t multi = 0, affine = 0;
+    std::int64_t common_stride = 0;
+    bool strides_agree = true;
+    for (auto& r : rounds) {
+      if (r.size() < 2) continue;
+      ++multi;
+      const std::int64_t stride = round_stride(r);
+      if (stride > 0) {
+        ++affine;
+        if (common_stride == 0) {
+          common_stride = stride;
+        } else if (stride != common_stride) {
+          strides_agree = false;  // incidental affinity, not a cyclic phase
+        }
+      }
+    }
+    if (multi >= 2 && strides_agree && affine * 5 >= multi * 4) {
+      return FileLayout::StridedCyclic;
+    }
+    if (multi == 1 && affine == 1 && rounds.size() <= 2) return FileLayout::Strided;
+  }
+
+  // Rule 3: per-rank arithmetic progressions (array-of-structs striding).
+  if (std::all_of(per_rank.begin(), per_rank.end(), [](const auto& kv) {
+        return kv.second.size() < 2 || is_arithmetic(kv.second) ||
+               is_consecutive(kv.second);
+      })) {
+    return FileLayout::Strided;
+  }
+
+  // Rule 4: per-rank monotonic forward progress with irregular gaps
+  // (independent-I/O FLASH), still "strided" in the paper's loose sense.
+  if (std::all_of(per_rank.begin(), per_rank.end(),
+                  [](const auto& kv) { return is_monotonic(kv.second); })) {
+    return FileLayout::Strided;
+  }
+
+  return FileLayout::Random;
+}
+
+HighLevelPattern classify_high_level(const AccessLog& log, int nranks,
+                                     PatternOptions opts) {
+  // Group files into families: digit runs in the path are wildcards, so
+  // "chk_0001" and "chk_0002" (or per-rank "out.17") are one family.
+  auto family_key = [](const std::string& path) {
+    std::string key;
+    bool in_digits = false;
+    for (char ch : path) {
+      if (ch >= '0' && ch <= '9') {
+        if (!in_digits) key += '#';
+        in_digits = true;
+      } else {
+        key += ch;
+        in_digits = false;
+      }
+    }
+    return key;
+  };
+
+  struct Family {
+    std::uint64_t bytes = 0;
+    std::set<Rank> ranks;
+    std::size_t max_writers_per_file = 0;
+    std::size_t max_io_ranks_per_file = 0;
+    int files = 0;
+    const FileLog* dominant = nullptr;
+    std::uint64_t dominant_bytes = 0;
+  };
+  std::map<std::string, Family> families;
+  for (const auto& [path, file] : log.files) {
+    const auto data = data_accesses(file, opts);
+    std::uint64_t bytes = 0;
+    std::set<Rank> writers, io_ranks;
+    for (const auto* a : data) {
+      bytes += a->ext.size();
+      io_ranks.insert(a->rank);
+      if (a->type == AccessType::Write) writers.insert(a->rank);
+    }
+    if (bytes == 0) continue;
+    Family& fam = families[family_key(path)];
+    fam.bytes += bytes;
+    fam.ranks.insert(io_ranks.begin(), io_ranks.end());
+    fam.max_writers_per_file = std::max(fam.max_writers_per_file, writers.size());
+    fam.max_io_ranks_per_file =
+        std::max(fam.max_io_ranks_per_file, io_ranks.size());
+    ++fam.files;
+    if (bytes > fam.dominant_bytes) {
+      fam.dominant_bytes = bytes;
+      fam.dominant = &file;
+    }
+  }
+
+  HighLevelPattern out;
+  const Family* best = nullptr;
+  for (const auto& [key, fam] : families) {
+    if (!best || fam.bytes > best->bytes) best = &fam;
+  }
+  if (!best || !best->dominant) {
+    out.xy = "0-0";
+    return out;
+  }
+
+  const auto w = static_cast<int>(best->ranks.size());
+  const char x = w == nranks ? 'N' : (w == 1 ? '1' : 'M');
+  // Sharing shape: per-process files vs one shared file vs group files.
+  const std::size_t per_file =
+      std::max<std::size_t>(best->max_writers_per_file, 1);
+  char y;
+  if (per_file <= 1 && best->max_io_ranks_per_file <= 1) {
+    y = x;  // matching per-process files: N-N / M-M / 1-1
+  } else if (best->max_io_ranks_per_file >= best->ranks.size()) {
+    y = '1';  // every participating rank shares each file
+  } else {
+    y = 'M';  // group files
+  }
+  out.xy = std::string(1, x) + "-" + std::string(1, y);
+  out.layout = classify_file_layout(*best->dominant, opts);
+  out.io_ranks = w;
+  out.family_files = best->files;
+  out.dominant_file = best->dominant->path;
+  return out;
+}
+
+}  // namespace pfsem::core

@@ -1,0 +1,90 @@
+#include "pfsem/core/prefetch.hpp"
+
+#include <map>
+#include <vector>
+
+namespace pfsem::core {
+
+namespace {
+
+/// Streaming read-ahead policy over one access sequence.
+struct ReadAhead {
+  Extent window;  // currently-prefetched range
+  std::uint64_t reads = 0, hits = 0;
+
+  void read(const Extent& e, Offset readahead) {
+    ++reads;
+    if (window.contains(e)) {
+      ++hits;
+      // Sequential streams keep the window sliding forward.
+      if (e.end + readahead / 2 > window.end) {
+        window = {e.end, e.end + readahead};
+      }
+      return;
+    }
+    window = {e.end, e.end + readahead};  // miss: refill behind the read
+  }
+};
+
+/// Write-back aggregation over one access sequence.
+struct Aggregator {
+  Extent buffer;  // pending contiguous dirty range
+  std::uint64_t writes = 0, flushes = 0;
+
+  void write(const Extent& e, Offset capacity) {
+    ++writes;
+    if (buffer.empty()) {
+      buffer = e;
+      return;
+    }
+    if (e.begin == buffer.end && buffer.size() + e.size() <= capacity) {
+      buffer.end = e.end;  // extend the pending run
+      return;
+    }
+    ++flushes;  // non-contiguous (or full): the PFS sees one request
+    buffer = e;
+  }
+  void finish() {
+    if (!buffer.empty()) ++flushes;
+  }
+};
+
+}  // namespace
+
+CacheBenefit estimate_cache_benefit(const AccessLog& log,
+                                    CacheModelOptions opts) {
+  CacheBenefit out;
+  for (const auto& [path, fl] : log.files) {
+    // Client side: per-rank sequences.
+    std::map<Rank, std::vector<const Access*>> per_rank;
+    for (const auto& a : fl.accesses) per_rank[a.rank].push_back(&a);
+    for (const auto& [rank, seq] : per_rank) {
+      ReadAhead ra;
+      Aggregator agg;
+      for (const auto* a : seq) {
+        if (a->type == AccessType::Read) {
+          ra.read(a->ext, opts.readahead_window);
+        } else {
+          agg.write(a->ext, opts.aggregation_buffer);
+        }
+      }
+      agg.finish();
+      out.client_reads += ra.reads;
+      out.client_hits += ra.hits;
+      out.writes += agg.writes;
+      out.write_flushes += agg.flushes;
+    }
+    // Server side: global time order sees the interleaving of all ranks.
+    ReadAhead server;
+    for (const auto& a : fl.accesses) {
+      if (a.type == AccessType::Read) {
+        server.read(a.ext, opts.readahead_window);
+      }
+    }
+    out.server_reads += server.reads;
+    out.server_hits += server.hits;
+  }
+  return out;
+}
+
+}  // namespace pfsem::core

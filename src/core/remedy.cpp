@@ -1,0 +1,118 @@
+#include "pfsem/core/remedy.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "pfsem/core/overlap.hpp"
+
+namespace pfsem::core {
+
+namespace {
+
+/// An open window (after, before) in which a commit by (rank, path)
+/// clears one conflicting pair.
+struct Window {
+  SimTime after;
+  SimTime before;
+};
+
+/// The conflicting pairs of one file, as commit windows per first-rank.
+void collect_windows(const FileLog& fl, bool strict,
+                     std::map<Rank, std::vector<Window>>& windows,
+                     std::uint64_t& uncoverable) {
+  for (const auto& p : detect_overlaps(fl.accesses)) {
+    const Access* a = &fl.accesses[p.first];
+    const Access* b = &fl.accesses[p.second];
+    if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
+    if (a->type != AccessType::Write) continue;
+    const bool same = a->rank == b->rank;
+    if (same && !strict) continue;
+    const bool commit_conflict = a->t_commit > b->t;
+    if (!commit_conflict) continue;
+    if (a->t + 1 >= b->t) {
+      ++uncoverable;  // no room to insert anything between the accesses
+      continue;
+    }
+    windows[a->rank].push_back({a->t, b->t});
+  }
+}
+
+}  // namespace
+
+RemedyPlan suggest_commits(const AccessLog& log, RemedyOptions opts) {
+  RemedyPlan plan;
+  for (const auto& [path, fl] : log.files) {
+    std::map<Rank, std::vector<Window>> windows;
+    collect_windows(fl, opts.strict, windows, plan.uncoverable);
+    for (auto& [rank, v] : windows) {
+      // Greedy 1-D stabbing: sort by window end; one commit just before
+      // the earliest uncovered end clears every window containing it.
+      std::sort(v.begin(), v.end(), [](const Window& x, const Window& y) {
+        return x.before < y.before;
+      });
+      std::size_t i = 0;
+      while (i < v.size()) {
+        CommitSuggestion s;
+        s.path = path;
+        s.rank = rank;
+        s.before = v[i].before;
+        s.after = v[i].after;
+        s.pairs_cleared = 0;
+        // Cover every later window that still contains an *integer*
+        // stabbing point strictly inside (s.after, s.before): the point
+        // s.after + 1 must stay below this window's `before` bound and
+        // above its `after`.
+        for (; i < v.size() && v[i].after + 1 < s.before; ++i) {
+          s.after = std::max(s.after, v[i].after);
+          ++s.pairs_cleared;
+        }
+        plan.commits.push_back(std::move(s));
+      }
+    }
+  }
+  return plan;
+}
+
+ConflictMatrix verify_plan(const AccessLog& log, const RemedyPlan& plan,
+                           RemedyOptions opts) {
+  // Augment the per-(path, rank) commit tables with the suggested points
+  // and re-evaluate condition 3.
+  std::map<std::pair<std::string, Rank>, std::vector<SimTime>> inserted;
+  for (const auto& s : plan.commits) {
+    // s.after + 1 is strictly inside every covered window by construction.
+    inserted[{s.path, s.rank}].push_back(s.after + 1);
+  }
+  for (auto& [key, v] : inserted) std::sort(v.begin(), v.end());
+
+  ConflictMatrix out;
+  for (const auto& [path, fl] : log.files) {
+    for (const auto& p : detect_overlaps(fl.accesses)) {
+      const Access* a = &fl.accesses[p.first];
+      const Access* b = &fl.accesses[p.second];
+      if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
+      if (a->type != AccessType::Write) continue;
+      const bool same = a->rank == b->rank;
+      if (same && !opts.strict) continue;
+      bool conflict = a->t_commit > b->t;
+      if (conflict) {
+        auto it = inserted.find({path, a->rank});
+        if (it != inserted.end()) {
+          auto ub = std::upper_bound(it->second.begin(), it->second.end(), a->t);
+          if (ub != it->second.end() && *ub < b->t) conflict = false;
+        }
+      }
+      if (!conflict) continue;
+      ++out.count;
+      const ConflictKind kind =
+          b->type == AccessType::Write ? ConflictKind::WAW : ConflictKind::RAW;
+      if (kind == ConflictKind::WAW) {
+        (same ? out.waw_s : out.waw_d) = true;
+      } else {
+        (same ? out.raw_s : out.raw_d) = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pfsem::core

@@ -1,0 +1,139 @@
+#include "pfsem/core/report.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "pfsem/util/table.hpp"
+
+namespace pfsem::core {
+
+void SizeHistogram::add(std::uint64_t size) {
+  const std::size_t k =
+      size <= 1 ? 0
+                : std::min<std::size_t>(kBuckets - 1,
+                                        static_cast<std::size_t>(
+                                            std::bit_width(size) - 1));
+  ++counts[k];
+}
+
+std::uint64_t SizeHistogram::total() const {
+  std::uint64_t n = 0;
+  for (auto c : counts) n += c;
+  return n;
+}
+
+std::string SizeHistogram::bucket_label(std::size_t k) {
+  auto human = [](std::uint64_t v) {
+    if (v >= (1ull << 30)) return std::to_string(v >> 30) + "GiB";
+    if (v >= (1ull << 20)) return std::to_string(v >> 20) + "MiB";
+    if (v >= (1ull << 10)) return std::to_string(v >> 10) + "KiB";
+    return std::to_string(v) + "B";
+  };
+  if (k == 0) return "0B-2B";
+  if (k == kBuckets - 1) return ">=" + human(1ull << k);
+  return human(1ull << k) + "-" + human(1ull << (k + 1));
+}
+
+RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
+                       const ConflictReport& conflicts) {
+  RunReport rep;
+  rep.nranks = bundle.nranks;
+  rep.records = bundle.records.size();
+  SimTime lo = kTimeNever, hi = 0;
+  for (const auto& rec : bundle.records) {
+    ++rep.function_counts[rec.func];
+    ++rep.layer_counts[rec.layer];
+    lo = std::min(lo, rec.tstart);
+    hi = std::max(hi, rec.tend);
+    if (rec.layer != trace::Layer::Posix) continue;
+    switch (rec.func) {
+      case trace::Func::read:
+      case trace::Func::pread:
+        rep.read_sizes.add(static_cast<std::uint64_t>(rec.ret));
+        break;
+      case trace::Func::write:
+      case trace::Func::pwrite:
+        rep.write_sizes.add(static_cast<std::uint64_t>(rec.ret));
+        break;
+      default:
+        break;
+    }
+  }
+  rep.span = rep.records > 0 ? hi - lo : 0;
+
+  for (const auto& [path, fl] : log.files) {
+    FileReport fr;
+    fr.path = path;
+    for (const auto& a : fl.accesses) {
+      if (a.type == AccessType::Read) {
+        ++fr.reads;
+        fr.read_bytes += a.ext.size();
+      } else {
+        ++fr.writes;
+        fr.write_bytes += a.ext.size();
+      }
+    }
+    fr.layout = classify_file_layout(fl);
+    rep.files[path] = std::move(fr);
+  }
+  for (const auto& c : conflicts.conflicts) {
+    auto it = rep.files.find(c.path);
+    if (it == rep.files.end()) continue;
+    it->second.session_conflicts += c.under_session ? 1 : 0;
+    it->second.commit_conflicts += c.under_commit ? 1 : 0;
+  }
+  rep.pattern = classify_high_level(log, bundle.nranks);
+  rep.local = local_pattern(log);
+  rep.global = global_pattern(log);
+  return rep;
+}
+
+void print_report(const RunReport& rep, std::ostream& os) {
+  os << "== run report ==\n"
+     << "ranks: " << rep.nranks << "   records: " << rep.records
+     << "   traced span: " << fmt(to_seconds(rep.span), 3) << " s\n"
+     << "pattern: " << rep.pattern.xy << " " << to_string(rep.pattern.layout)
+     << "\n"
+     << "transitions local c/m/r: " << fmt_pct(rep.local.frac_consecutive())
+     << "/" << fmt_pct(rep.local.frac_monotonic()) << "/"
+     << fmt_pct(rep.local.frac_random())
+     << "   global: " << fmt_pct(rep.global.frac_consecutive()) << "/"
+     << fmt_pct(rep.global.frac_monotonic()) << "/"
+     << fmt_pct(rep.global.frac_random()) << "\n";
+
+  os << "\nfunction counters:\n";
+  Table fc({"function", "layer-of-call", "count"});
+  for (const auto& [func, count] : rep.function_counts) {
+    // Layer shown is the function's own API layer.
+    fc.add_row({std::string(trace::to_string(func)), "", std::to_string(count)});
+  }
+  fc.print(os);
+
+  os << "\nrequest sizes:\n";
+  Table hist({"bucket", "reads", "writes"});
+  for (std::size_t k = 0; k < SizeHistogram::kBuckets; ++k) {
+    if (rep.read_sizes.counts[k] == 0 && rep.write_sizes.counts[k] == 0) {
+      continue;
+    }
+    hist.add_row({SizeHistogram::bucket_label(k),
+                  std::to_string(rep.read_sizes.counts[k]),
+                  std::to_string(rep.write_sizes.counts[k])});
+  }
+  hist.print(os);
+
+  os << "\nper-file summary:\n";
+  Table files({"file", "reads", "writes", "read bytes", "write bytes",
+               "layout", "session conf.", "commit conf."});
+  for (const auto& [path, fr] : rep.files) {
+    files.add_row({path, std::to_string(fr.reads), std::to_string(fr.writes),
+                   std::to_string(fr.read_bytes),
+                   std::to_string(fr.write_bytes),
+                   std::string(to_string(fr.layout)),
+                   std::to_string(fr.session_conflicts),
+                   std::to_string(fr.commit_conflicts)});
+  }
+  files.print(os);
+}
+
+}  // namespace pfsem::core

@@ -1,0 +1,66 @@
+#include "pfsem/core/tuning.hpp"
+
+#include <map>
+
+#include "pfsem/core/overlap.hpp"
+
+namespace pfsem::core {
+
+TuningReport per_file_tuning(const AccessLog& log) {
+  using vfs::ConsistencyModel;
+
+  // Per-file conflict class flags. The capped example list may omit
+  // pairs, so recompute per-file *presence* flags from the accesses
+  // directly (cheap: reuses the overlap sweep per file).
+  struct Flags {
+    bool session_d = false, commit_d = false;
+    bool any_pair = false;
+    std::uint64_t session_pairs = 0, commit_pairs = 0;
+  };
+  std::map<std::string, Flags> flags;
+  for (const auto& [path, fl] : log.files) {
+    Flags& f = flags[path];
+    for (const auto& p : detect_overlaps(fl.accesses)) {
+      const Access* a = &fl.accesses[p.first];
+      const Access* b = &fl.accesses[p.second];
+      if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
+      if (a->type != AccessType::Write) continue;
+      f.any_pair = true;
+      const bool same = a->rank == b->rank;
+      if (a->t_commit > b->t) {
+        ++f.commit_pairs;
+        if (!same) f.commit_d = true;
+      }
+      if (!(a->t_close < b->t_open)) {
+        ++f.session_pairs;
+        if (!same) f.session_d = true;
+      }
+    }
+  }
+
+  TuningReport out;
+  for (const auto& [path, fl] : log.files) {
+    const Flags& f = flags[path];
+    FileTuning ft;
+    ft.path = path;
+    ft.bytes = fl.read_bytes() + fl.write_bytes();
+    ft.session_pairs = f.session_pairs;
+    ft.commit_pairs = f.commit_pairs;
+    if (!f.any_pair) {
+      ft.weakest = ConsistencyModel::Eventual;
+    } else if (!f.session_d) {
+      ft.weakest = ConsistencyModel::Session;
+    } else if (!f.commit_d) {
+      ft.weakest = ConsistencyModel::Commit;
+    } else {
+      ft.weakest = ConsistencyModel::Strong;
+    }
+    out.total_bytes += ft.bytes;
+    if (ft.weakest != ConsistencyModel::Strong) out.relaxed_bytes += ft.bytes;
+    if (ft.weakest == ConsistencyModel::Eventual) out.eventual_bytes += ft.bytes;
+    out.files.push_back(std::move(ft));
+  }
+  return out;
+}
+
+}  // namespace pfsem::core

@@ -1,0 +1,130 @@
+#include "pfsem/iolib/adios_lite.hpp"
+
+#include <algorithm>
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::iolib {
+
+struct AdiosFile {
+  std::string dir;  // "<name>.bp"
+  mpi::Group group;
+  std::vector<Rank> aggregators;
+  std::map<Rank, int> data_fds;  // aggregator -> its subfile fd
+  int md_fd = -1;                // rank 0: md.0 log
+  int idx_fd = -1;               // rank 0: md.idx index
+  std::map<Rank, std::uint64_t> staged;
+  int open_count = 0;
+};
+
+AdiosLite::AdiosLite(IoContext ctx, AdiosOptions opt)
+    : ctx_(ctx), opt_(opt), posix_(ctx, trace::Layer::Adios) {
+  require(ctx_.valid(), "AdiosLite needs a fully-wired IoContext");
+  require(opt_.aggregators > 0, "need at least one aggregator");
+}
+
+AdiosLite::~AdiosLite() = default;
+
+void AdiosLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
+                     const std::string& path) {
+  trace::Record rec;
+  rec.tstart = t0;
+  rec.tend = ctx_.engine->now();
+  rec.rank = r;
+  rec.layer = trace::Layer::Adios;
+  rec.origin = trace::Layer::App;
+  rec.func = func;
+  rec.count = count;
+  rec.path = path;
+  ctx_.collector->emit(std::move(rec));
+}
+
+sim::Task<AdiosFile*> AdiosLite::open(Rank r, const std::string& name,
+                                      const mpi::Group& group) {
+  const SimTime t0 = ctx_.engine->now();
+  const std::string dir = name + ".bp";
+  auto& slot = handles_[dir];
+  if (!slot) {
+    slot = std::make_unique<AdiosFile>();
+    slot->dir = dir;
+    slot->group = group;
+    const auto naggr =
+        std::min<std::size_t>(static_cast<std::size_t>(opt_.aggregators),
+                              group.size());
+    for (std::size_t i = 0; i < naggr; ++i) {
+      slot->aggregators.push_back(group[i * group.size() / naggr]);
+    }
+  }
+  AdiosFile* f = slot.get();
+  ++f->open_count;
+  co_await posix_.getcwd(r);
+  const Rank leader = group.front();
+  if (r == leader) {
+    co_await posix_.mkdir(r, dir);
+    // Stale output from a previous run would confuse the reader index.
+    co_await posix_.unlink(r, dir + "/md.idx");
+  }
+  co_await ctx_.world->barrier(r, group);
+  const auto agg_it =
+      std::find(f->aggregators.begin(), f->aggregators.end(), r);
+  if (agg_it != f->aggregators.end()) {
+    const auto sub = static_cast<int>(agg_it - f->aggregators.begin());
+    f->data_fds[r] = co_await posix_.open(
+        r, dir + "/data." + std::to_string(sub),
+        trace::kCreate | trace::kTrunc | trace::kWrOnly);
+  }
+  if (r == leader) {
+    f->md_fd = co_await posix_.open(r, dir + "/md.0",
+                                    trace::kCreate | trace::kTrunc | trace::kWrOnly);
+    f->idx_fd = co_await posix_.open(
+        r, dir + "/md.idx", trace::kCreate | trace::kTrunc | trace::kRdWr);
+  }
+  co_await ctx_.world->barrier(r, group);
+  emit(r, trace::Func::adios_open, t0, 0, dir);
+  co_return f;
+}
+
+sim::Task<void> AdiosLite::put(Rank r, AdiosFile* f, std::uint64_t bytes) {
+  const SimTime t0 = ctx_.engine->now();
+  f->staged[r] += bytes;
+  co_await ctx_.engine->delay(500);  // buffer copy
+  emit(r, trace::Func::adios_put, t0, bytes, f->dir);
+}
+
+sim::Task<void> AdiosLite::end_step(Rank r, AdiosFile* f) {
+  const SimTime t0 = ctx_.engine->now();
+  // Ranks ship staged data to their aggregator; model as a barrier plus
+  // the aggregator writing the aggregate sequentially (append).
+  co_await ctx_.world->barrier(r, f->group);
+  if (f->data_fds.contains(r)) {
+    // This aggregator serves group.size()/naggr ranks.
+    const std::uint64_t per_rank = f->staged.contains(r) ? f->staged[r] : 0;
+    const std::uint64_t total =
+        per_rank * (f->group.size() / f->aggregators.size());
+    if (total > 0) co_await posix_.write(r, f->data_fds[r], total);
+  }
+  if (r == f->group.front()) {
+    co_await posix_.write(r, f->md_fd, 256);
+    // Single-byte in-place overwrite of the index: the LAMMPS-ADIOS WAW-S.
+    co_await posix_.pwrite(r, f->idx_fd, 0, 1);
+    co_await posix_.write(r, f->idx_fd, 64);
+  }
+  f->staged[r] = 0;
+  co_await ctx_.world->barrier(r, f->group);
+  emit(r, trace::Func::adios_end_step, t0, 0, f->dir);
+}
+
+sim::Task<void> AdiosLite::close(Rank r, AdiosFile* f) {
+  const SimTime t0 = ctx_.engine->now();
+  co_await ctx_.world->barrier(r, f->group);
+  if (f->data_fds.contains(r)) co_await posix_.close(r, f->data_fds[r]);
+  if (r == f->group.front()) {
+    co_await posix_.close(r, f->md_fd);
+    co_await posix_.close(r, f->idx_fd);
+  }
+  const std::string dir = f->dir;
+  if (--f->open_count == 0) handles_.erase(dir);
+  emit(r, trace::Func::adios_close, t0, 0, dir);
+}
+
+}  // namespace pfsem::iolib

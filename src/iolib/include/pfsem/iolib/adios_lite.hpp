@@ -1,0 +1,54 @@
+#pragma once
+// Miniature ADIOS2 (BP4-style) over the simulated POSIX layer.
+//
+// Output is a directory (name.bp/) holding one data subfile per
+// aggregator (the M-M pattern of LAMMPS-ADIOS in Table 3), an append-only
+// metadata log (md.0), and a tiny index file (md.idx) whose first byte is
+// overwritten in place at every step by rank 0 — the paper names exactly
+// this single-byte overwrite of */md.idx as the cause of LAMMPS-ADIOS's
+// WAW-S conflict (Section 6.3). mkdir/getcwd/unlink calls give ADIOS its
+// distinctive Figure 3 metadata footprint.
+
+#include <string>
+
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::iolib {
+
+struct AdiosFile;
+
+struct AdiosOptions {
+  /// Number of data subfiles / aggregator ranks (BP4 NumAggregators).
+  int aggregators = 8;
+};
+
+class AdiosLite {
+ public:
+  explicit AdiosLite(IoContext ctx, AdiosOptions opt = {});
+  ~AdiosLite();
+  AdiosLite(const AdiosLite&) = delete;
+  AdiosLite& operator=(const AdiosLite&) = delete;
+
+  /// Collective open of an output "file" (directory) over `group`.
+  sim::Task<AdiosFile*> open(Rank r, const std::string& name,
+                             const mpi::Group& group);
+  /// Stage `bytes` of this rank's data for the current step.
+  sim::Task<void> put(Rank r, AdiosFile* f, std::uint64_t bytes);
+  /// Close the step: aggregators append staged data to their subfile;
+  /// rank 0 appends to the metadata log and overwrites the index byte.
+  sim::Task<void> end_step(Rank r, AdiosFile* f);
+  sim::Task<void> close(Rank r, AdiosFile* f);
+
+  [[nodiscard]] PosixIo& posix() { return posix_; }
+
+ private:
+  void emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
+            const std::string& path);
+
+  IoContext ctx_;
+  AdiosOptions opt_;
+  PosixIo posix_;
+  std::map<std::string, std::unique_ptr<AdiosFile>> handles_;
+};
+
+}  // namespace pfsem::iolib

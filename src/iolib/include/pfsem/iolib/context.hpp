@@ -1,0 +1,26 @@
+#pragma once
+// Shared wiring for one simulated application run: the DES engine, the MPI
+// world, the PFS under test, and the trace collector. Every I/O-library
+// façade holds one of these by value (it is a bundle of non-owning
+// pointers; the driver owns the underlying objects).
+
+#include "pfsem/mpi/world.hpp"
+#include "pfsem/sim/engine.hpp"
+#include "pfsem/trace/collector.hpp"
+#include "pfsem/vfs/filesystem.hpp"
+#include "pfsem/vfs/pfs.hpp"
+
+namespace pfsem::iolib {
+
+struct IoContext {
+  sim::Engine* engine = nullptr;
+  mpi::World* world = nullptr;
+  vfs::FileSystem* pfs = nullptr;
+  trace::Collector* collector = nullptr;
+
+  [[nodiscard]] bool valid() const {
+    return engine && world && pfs && collector;
+  }
+};
+
+}  // namespace pfsem::iolib

@@ -1,0 +1,92 @@
+#pragma once
+// Miniature HDF5 over the simulated POSIX / MPI-IO layers.
+//
+// Models the pieces of HDF5 behaviour the paper identifies as the source
+// of access-pattern randomness and of every HDF5-related conflict:
+//
+//  * Interspersed metadata — a 96-byte superblock at offset 0, a symbol
+//    table region behind it, and per-dataset object headers allocated
+//    between raw-data regions, so metadata accesses are small and land at
+//    low offsets while data accesses stream (Section 6.2.1, Figure 2).
+//  * Distributed metadata writers — for a shared file, metadata entries
+//    are written by a rotating subset of ~metadata_writers ranks, not by
+//    the MPI-IO aggregators (the paper observes ~30 of 64 ranks doing
+//    metadata writes, Figure 2(a,c)). With collective_metadata=true only
+//    the group leader writes metadata (the paper's suggested FLASH fix).
+//  * flush() (H5Fflush) — rewrites the dirty shared-accumulator region at
+//    the file head and then fsyncs. Calling it between dataset writes is
+//    exactly what gives FLASH its WAW-S/WAW-D conflicts under session
+//    semantics and makes them disappear under commit semantics
+//    (Section 6.3). flush_after_dataset enables the FLASH behaviour.
+//  * metadata_readback — on dataset creation the metadata owner re-reads
+//    the symbol-table node it appended to earlier, producing ENZO's RAW-S
+//    conflict.
+//  * close() — writes the superblock once, fstats and truncates the file
+//    to its end-of-allocation (the lstat/fstat/ftruncate calls that
+//    distinguish ParaDiS-HDF5 from ParaDiS-POSIX in Figure 3), closes.
+
+#include <string>
+
+#include "pfsem/iolib/mpi_io.hpp"
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::iolib {
+
+struct H5Options {
+  /// Only the group leader performs metadata I/O (H5Pset_coll_metadata_write).
+  bool collective_metadata = false;
+  /// Call flush() automatically after every dataset write epoch (FLASH).
+  bool flush_after_dataset = false;
+  /// Re-read the symbol-table node before extending it (ENZO).
+  bool metadata_readback = false;
+  /// Size of the rotating metadata-writer subset for shared files.
+  int metadata_writers = 30;
+  /// Route raw dataset data through collective MPI-IO (FLASH-fbs, VPIC).
+  bool collective_data = false;
+  /// Aggregator count when collective_data is on.
+  int aggregators = 6;
+};
+
+struct H5File;
+
+class Hdf5Lite {
+ public:
+  explicit Hdf5Lite(IoContext ctx, H5Options opt = {});
+  ~Hdf5Lite();
+  Hdf5Lite(const Hdf5Lite&) = delete;
+  Hdf5Lite& operator=(const Hdf5Lite&) = delete;
+
+  /// Collective create over `group` (pass a single-rank group for serial
+  /// HDF5 use, e.g. one file per process or rank-0-only I/O).
+  sim::Task<H5File*> create(Rank r, const std::string& path,
+                            const mpi::Group& group);
+  /// Collective: allocate a dataset of `total_bytes`; the metadata owner
+  /// writes the symbol-table entry and object header.
+  sim::Task<void> dataset_create(Rank r, H5File* f, const std::string& name,
+                                 std::uint64_t total_bytes);
+  /// Each rank writes `count` raw bytes at `rel_off` within the dataset.
+  sim::Task<void> dataset_write(Rank r, H5File* f, const std::string& name,
+                                Offset rel_off, std::uint64_t count);
+  /// Each rank reads `count` raw bytes at `rel_off` within the dataset.
+  sim::Task<void> dataset_read(Rank r, H5File* f, const std::string& name,
+                               Offset rel_off, std::uint64_t count);
+  /// H5Fflush: rewrite dirty shared metadata, then fsync (a commit).
+  sim::Task<void> flush(Rank r, H5File* f);
+  /// H5Fclose: final superblock write, fstat+ftruncate to EOA, close.
+  sim::Task<void> close(Rank r, H5File* f);
+
+  [[nodiscard]] PosixIo& posix() { return posix_; }
+
+ private:
+  Rank metadata_owner(const H5File& f, std::uint64_t object_index) const;
+  void emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
+            const std::string& path);
+
+  IoContext ctx_;
+  H5Options opt_;
+  PosixIo posix_;
+  MpiIo mpiio_;
+  std::map<std::string, std::unique_ptr<H5File>> handles_;
+};
+
+}  // namespace pfsem::iolib

@@ -1,0 +1,48 @@
+#pragma once
+// Miniature NetCDF (classic format) over the simulated POSIX layer.
+//
+// Models the single behaviour that matters for the paper's results: the
+// classic-format header at the start of the file holds the record count
+// (numrecs), and every record append rewrites those header bytes in place
+// without any intervening commit — the WAW-S conflict the paper observes
+// for LAMMPS-NetCDF under both session and commit semantics (Table 4).
+// NetCDF also introduces extra metadata calls (getcwd/access) relative to
+// plain POSIX use, which shows up in the Figure 3 census.
+
+#include <string>
+
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::iolib {
+
+struct NcFile;
+
+class NetCdfLite {
+ public:
+  explicit NetCdfLite(IoContext ctx);
+  ~NetCdfLite();
+  NetCdfLite(const NetCdfLite&) = delete;
+  NetCdfLite& operator=(const NetCdfLite&) = delete;
+
+  /// Create a classic-format file (single-writer API, like LAMMPS dumps).
+  sim::Task<NcFile*> create(Rank r, const std::string& path);
+  /// Define a variable (metadata only until enddef).
+  sim::Task<void> def_var(Rank r, NcFile* f, const std::string& name);
+  /// Leave define mode: write the header block.
+  sim::Task<void> enddef(Rank r, NcFile* f);
+  /// Append one record of `bytes` data, then rewrite numrecs in place.
+  sim::Task<void> put_record(Rank r, NcFile* f, std::uint64_t bytes);
+  sim::Task<void> close(Rank r, NcFile* f);
+
+  [[nodiscard]] PosixIo& posix() { return posix_; }
+
+ private:
+  void emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
+            const std::string& path);
+
+  IoContext ctx_;
+  PosixIo posix_;
+  std::vector<std::unique_ptr<NcFile>> files_;
+};
+
+}  // namespace pfsem::iolib

@@ -1,0 +1,44 @@
+#pragma once
+// Miniature Silo (PDB-style) over the simulated POSIX layer, with the
+// MACSio multifile ("poor man's parallel I/O") discipline: the ranks
+// sharing one group file write in baton order — each rank opens the file,
+// appends its domain block, rewrites the table of contents at the file
+// head, closes, and passes the baton to the next rank via a point-to-point
+// message. The same-process TOC rewrite (written twice per turn with no
+// commit between) is MACSio's WAW-S conflict; the cross-rank TOC rewrites
+// are cleared by the close->open session pairs the baton enforces, which
+// is why MACSio shows no D conflicts (Table 4).
+
+#include <string>
+
+#include "pfsem/iolib/posix_io.hpp"
+
+namespace pfsem::iolib {
+
+struct SiloFile;
+
+class SiloLite {
+ public:
+  explicit SiloLite(IoContext ctx);
+  ~SiloLite();
+  SiloLite(const SiloLite&) = delete;
+  SiloLite& operator=(const SiloLite&) = delete;
+
+  /// Baton-ordered group write: rank `r` (a member of `group`) waits for
+  /// the baton, opens `path`, writes its `bytes` block + TOC, closes, and
+  /// forwards the baton. Every member must call this once per dump.
+  sim::Task<void> write_group_file(Rank r, const std::string& path,
+                                   const mpi::Group& group, std::uint64_t bytes,
+                                   int dump_index);
+
+  [[nodiscard]] PosixIo& posix() { return posix_; }
+
+ private:
+  void emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
+            const std::string& path);
+
+  IoContext ctx_;
+  PosixIo posix_;
+};
+
+}  // namespace pfsem::iolib

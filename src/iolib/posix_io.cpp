@@ -1,0 +1,220 @@
+#include "pfsem/iolib/posix_io.hpp"
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::iolib {
+
+PosixIo::PosixIo(IoContext ctx, trace::Layer origin)
+    : ctx_(ctx), origin_(origin) {
+  require(ctx_.valid(), "PosixIo needs a fully-wired IoContext");
+}
+
+void PosixIo::emit(Rank r, trace::Func f, SimTime t0, SimTime t1, int fd,
+                   std::int64_t ret, Offset off, std::uint64_t count, int flags,
+                   std::string path) {
+  trace::Record rec;
+  rec.tstart = t0;
+  rec.tend = t1;
+  rec.rank = r;
+  rec.layer = trace::Layer::Posix;
+  rec.origin = origin_;
+  rec.func = f;
+  rec.fd = fd;
+  rec.ret = ret;
+  rec.offset = off;
+  rec.count = count;
+  rec.flags = flags;
+  rec.path = std::move(path);
+  ctx_.collector->emit(std::move(rec));
+}
+
+const std::string& PosixIo::path_of(Rank r, int fd) const {
+  auto it = fd_paths_.find({r, fd});
+  require(it != fd_paths_.end(), "path_of: unknown fd");
+  return it->second;
+}
+
+sim::Task<int> PosixIo::open(Rank r, std::string path, int flags) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->open(r, path, flags, t0);
+  require(res.fd >= 0, "simulated open failed: " + path);
+  co_await ctx_.engine->delay(res.cost);
+  fd_paths_[{r, res.fd}] = path;
+  emit(r, trace::Func::open, t0, ctx_.engine->now(), res.fd, res.fd, 0, 0,
+       flags, std::move(path));
+  co_return res.fd;
+}
+
+sim::Task<void> PosixIo::close(Rank r, int fd) {
+  const SimTime t0 = ctx_.engine->now();
+  std::string path = path_of(r, fd);
+  auto res = ctx_.pfs->close(r, fd, t0);
+  co_await ctx_.engine->delay(res.cost);
+  fd_paths_.erase({r, fd});
+  emit(r, trace::Func::close, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
+       std::move(path));
+}
+
+sim::Task<std::uint64_t> PosixIo::write(Rank r, int fd, std::uint64_t count) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->write(r, fd, count, t0);
+  co_await ctx_.engine->delay(res.cost);
+  // res.offset is ground truth for validating offset reconstruction only.
+  emit(r, trace::Func::write, t0, ctx_.engine->now(), fd,
+       static_cast<std::int64_t>(count), res.offset, count, 0, path_of(r, fd));
+  co_return count;
+}
+
+sim::Task<std::uint64_t> PosixIo::read(Rank r, int fd, std::uint64_t count) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->read(r, fd, count, t0);
+  co_await ctx_.engine->delay(res.cost);
+  last_read_ = res.extents;
+  emit(r, trace::Func::read, t0, ctx_.engine->now(), fd,
+       static_cast<std::int64_t>(res.bytes), res.offset, count, 0,
+       path_of(r, fd));
+  co_return res.bytes;
+}
+
+sim::Task<std::uint64_t> PosixIo::pwrite(Rank r, int fd, Offset off,
+                                         std::uint64_t count) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->pwrite(r, fd, off, count, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::pwrite, t0, ctx_.engine->now(), fd,
+       static_cast<std::int64_t>(count), off, count, 0, path_of(r, fd));
+  co_return count;
+}
+
+sim::Task<std::uint64_t> PosixIo::pread(Rank r, int fd, Offset off,
+                                        std::uint64_t count) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->pread(r, fd, off, count, t0);
+  co_await ctx_.engine->delay(res.cost);
+  last_read_ = res.extents;
+  emit(r, trace::Func::pread, t0, ctx_.engine->now(), fd,
+       static_cast<std::int64_t>(res.bytes), off, count, 0, path_of(r, fd));
+  co_return res.bytes;
+}
+
+sim::Task<std::int64_t> PosixIo::lseek(Rank r, int fd, std::int64_t offset,
+                                       int whence) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->lseek(r, fd, offset, whence, t0);
+  require(res.ret >= 0, "simulated lseek failed");
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::lseek, t0, ctx_.engine->now(), fd, res.ret,
+       static_cast<Offset>(offset), 0, whence, path_of(r, fd));
+  co_return res.ret;
+}
+
+sim::Task<void> PosixIo::fsync(Rank r, int fd) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->fsync(r, fd, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::fsync, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
+       path_of(r, fd));
+}
+
+sim::Task<void> PosixIo::fdatasync(Rank r, int fd) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->fsync(r, fd, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::fdatasync, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
+       path_of(r, fd));
+}
+
+sim::Task<void> PosixIo::ftruncate(Rank r, int fd, Offset length) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->ftruncate(r, fd, length, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::ftruncate, t0, ctx_.engine->now(), fd, res.ret, length,
+       0, 0, path_of(r, fd));
+}
+
+sim::Task<void> PosixIo::meta_call(Rank r, trace::Func f, std::string path,
+                                   SimDuration cost, std::int64_t ret) {
+  const SimTime t0 = ctx_.engine->now();
+  co_await ctx_.engine->delay(cost);
+  emit(r, f, t0, ctx_.engine->now(), -1, ret, 0, 0, 0, std::move(path));
+}
+
+sim::Task<std::int64_t> PosixIo::stat(Rank r, std::string path) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->stat(path, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::stat, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
+       std::move(path));
+  co_return res.ret;
+}
+
+sim::Task<std::int64_t> PosixIo::lstat(Rank r, std::string path) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->stat(path, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::lstat, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
+       std::move(path));
+  co_return res.ret;
+}
+
+sim::Task<std::int64_t> PosixIo::fstat(Rank r, int fd) {
+  const SimTime t0 = ctx_.engine->now();
+  std::string path = path_of(r, fd);
+  auto res = ctx_.pfs->stat(path, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::fstat, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
+       std::move(path));
+  co_return res.ret;
+}
+
+sim::Task<std::int64_t> PosixIo::access(Rank r, std::string path) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->access(path, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::access, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
+       std::move(path));
+  co_return res.ret;
+}
+
+sim::Task<void> PosixIo::unlink(Rank r, std::string path) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->unlink(path, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::unlink, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
+       std::move(path));
+}
+
+sim::Task<void> PosixIo::mkdir(Rank r, std::string path) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->mkdir(path, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::mkdir, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
+       std::move(path));
+}
+
+sim::Task<void> PosixIo::rename(Rank r, std::string from, std::string to) {
+  const SimTime t0 = ctx_.engine->now();
+  auto res = ctx_.pfs->rename(from, to, t0);
+  co_await ctx_.engine->delay(res.cost);
+  emit(r, trace::Func::rename, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
+       from + " -> " + to);
+}
+
+sim::Task<void> PosixIo::getcwd(Rank r) {
+  return meta_call(r, trace::Func::getcwd, "", 100, 0);
+}
+sim::Task<void> PosixIo::umask(Rank r) {
+  return meta_call(r, trace::Func::umask, "", 100, 0);
+}
+sim::Task<void> PosixIo::fcntl(Rank r, int fd) {
+  return meta_call(r, trace::Func::fcntl, path_of(r, fd), 200, 0);
+}
+sim::Task<void> PosixIo::dup(Rank r, int fd) {
+  return meta_call(r, trace::Func::dup, path_of(r, fd), 200, 0);
+}
+sim::Task<void> PosixIo::readdir(Rank r, std::string path) {
+  return meta_call(r, trace::Func::readdir, std::move(path),
+                   ctx_.pfs->meta_latency(), 0);
+}
+
+}  // namespace pfsem::iolib

@@ -1,0 +1,50 @@
+#include "pfsem/sim/engine.hpp"
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::sim {
+
+void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
+  require(t >= now_, "cannot schedule an event in the simulated past");
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+Engine::Detached Engine::run_root(Task<void> task) {
+  // Hold the task in this frame so its coroutine outlives every suspension.
+  ++live_roots_;
+  try {
+    co_await delay(0);  // defer the program body to the event loop
+    co_await std::move(task);
+  } catch (...) {
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  --live_roots_;
+}
+
+void Engine::spawn(Task<void> task) {
+  require(task.valid(), "spawn() needs a valid task");
+  run_root(std::move(task));
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++dispatched_;
+    ev.handle.resume();
+    if (first_error_) break;
+  }
+  if (first_error_) {
+    // Drain remaining events without running them is not possible for
+    // coroutines parked in wait queues; report the root cause instead.
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  require(live_roots_ == 0,
+          "simulation deadlock: event queue drained with " +
+              std::to_string(live_roots_) + " root task(s) still blocked");
+}
+
+}  // namespace pfsem::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Per-rank local clock model.
+//
+// The paper (Section 5.2) orders I/O operations from different nodes by
+// local-clock timestamps, normalized so that the exit from a startup
+// barrier is time 0, and observes skew below 20 microseconds on Quartz
+// while conflicting operations are tens of milliseconds apart. To exercise
+// that reasoning we let each rank observe a skewed, slightly drifting view
+// of global simulated time; analyses consume only these local timestamps,
+// exactly like the real tracer.
+
+#include <vector>
+
+#include "pfsem/util/rng.hpp"
+#include "pfsem/util/types.hpp"
+
+namespace pfsem::sim {
+
+struct ClockModel {
+  SimDuration offset = 0;   ///< fixed skew vs. global time, ns
+  double drift_ppb = 0.0;   ///< parts-per-billion rate error
+
+  /// Local timestamp a process on this clock records for global time `t`.
+  [[nodiscard]] SimTime local_time(SimTime t) const {
+    return t + offset + static_cast<SimTime>(drift_ppb * 1e-9 * static_cast<double>(t));
+  }
+};
+
+/// Build per-rank clocks with skew uniform in [-max_skew, +max_skew] and
+/// drift uniform in [-max_drift_ppb, +max_drift_ppb], deterministically
+/// from `seed`. Rank 0 is the reference clock (zero skew/drift), mirroring
+/// the barrier-based normalization in the paper.
+inline std::vector<ClockModel> make_skewed_clocks(int nranks, SimDuration max_skew,
+                                                  double max_drift_ppb,
+                                                  std::uint64_t seed) {
+  std::vector<ClockModel> clocks(static_cast<std::size_t>(nranks));
+  Rng rng(seed);
+  for (int r = 1; r < nranks; ++r) {
+    auto& c = clocks[static_cast<std::size_t>(r)];
+    c.offset = max_skew == 0 ? 0 : rng.range(-max_skew, max_skew);
+    c.drift_ppb = (2.0 * rng.uniform() - 1.0) * max_drift_ppb;
+  }
+  return clocks;
+}
+
+}  // namespace pfsem::sim

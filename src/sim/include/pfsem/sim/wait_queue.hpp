@@ -1,0 +1,51 @@
+#pragma once
+// Condition-variable-like primitive for the DES engine. Coroutines park on
+// wait(); wake_all()/wake_one() reschedule them at the current simulated
+// time in FIFO order. Barriers, channels, and rendezvous message matching
+// in pfsem::mpi are all built on this.
+
+#include <coroutine>
+#include <deque>
+
+#include "pfsem/sim/engine.hpp"
+
+namespace pfsem::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& engine) : engine_(&engine) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Awaitable: park the calling coroutine until woken.
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      WaitQueue* q;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { q->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Wake every parked coroutine (scheduled at the current time, FIFO).
+  void wake_all() {
+    while (!waiters_.empty()) wake_one();
+  }
+
+  /// Wake the longest-parked coroutine, if any.
+  void wake_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_->schedule(engine_->now(), h);
+  }
+
+  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pfsem::sim

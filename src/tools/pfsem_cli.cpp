@@ -1,0 +1,250 @@
+// pfsem — command-line front end to the toolkit.
+//
+//   pfsem list                         list bundled application models
+//   pfsem run <config> [options]       simulate + full analysis report
+//   pfsem trace <config> <out.trc>     simulate and save the trace
+//   pfsem analyze <trace.trc>          analyze a saved trace
+//   pfsem report <config|trace.trc>    full Recorder-style run report
+//   pfsem advise <config|trace.trc>    weakest-safe-model verdict only
+//   pfsem tune <config|trace.trc>      per-file consistency tuning report
+//   pfsem remedy <config|trace.trc>    minimal commit insertions clearing
+//                                      cross-process conflicts
+//
+// Options for run/trace/advise/tune on a config:
+//   --ranks N        MPI ranks (default 64)
+//   --skew NS        max injected clock skew in ns (default 0)
+//   --seed S         workload seed
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "pfsem/apps/registry.hpp"
+#include "pfsem/core/advisor.hpp"
+#include "pfsem/core/conflict.hpp"
+#include "pfsem/core/happens_before.hpp"
+#include "pfsem/core/metadata_census.hpp"
+#include "pfsem/core/metadata_conflict.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/core/pattern.hpp"
+#include "pfsem/core/remedy.hpp"
+#include "pfsem/core/report.hpp"
+#include "pfsem/core/tuning.hpp"
+#include "pfsem/trace/serialize.hpp"
+#include "pfsem/util/table.hpp"
+
+namespace {
+
+using namespace pfsem;
+
+struct Options {
+  int ranks = 64;
+  SimDuration skew = 0;
+  std::uint64_t seed = 42;
+  bool strict = false;   // remedy: include same-process conflicts
+  bool compact = false;  // trace: write the compact format
+};
+
+int usage() {
+  std::cerr << "usage: pfsem <list|run|trace|analyze|advise|tune> [args]\n"
+               "  pfsem list\n"
+               "  pfsem run <config> [--ranks N] [--skew NS] [--seed S]\n"
+               "  pfsem trace <config> <out.trc> [--compact] [options]\n"
+               "  pfsem analyze <trace.trc>\n"
+               "  pfsem report <config|trace.trc> [options]\n"
+               "  pfsem advise <config|trace.trc> [options]\n"
+               "  pfsem tune <config|trace.trc> [options]\n"
+               "  pfsem remedy <config|trace.trc> [--strict] [options]\n";
+  return 2;
+}
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--ranks") opt.ranks = std::stoi(next());
+    else if (a == "--skew") opt.skew = std::stoll(next());
+    else if (a == "--seed") opt.seed = std::stoull(next());
+    else if (a == "--strict") opt.strict = true;
+    else if (a == "--compact") opt.compact = true;
+    else throw Error("unknown option " + a);
+  }
+  return opt;
+}
+
+/// Obtain a trace either by simulating a named config or loading a file.
+trace::TraceBundle obtain(const std::string& what, const Options& opt) {
+  if (const auto* info = apps::find_app(what)) {
+    apps::AppConfig cfg;
+    cfg.nranks = opt.ranks;
+    cfg.ranks_per_node = std::max(1, opt.ranks / 8);
+    cfg.seed = opt.seed;
+    auto clocks = opt.skew > 0
+                      ? sim::make_skewed_clocks(opt.ranks, opt.skew, 100.0, opt.seed)
+                      : std::vector<sim::ClockModel>{};
+    return apps::run_app(*info, cfg, {}, std::move(clocks));
+  }
+  std::ifstream is(what, std::ios::binary);
+  if (!is) throw Error("'" + what + "' is neither a known config nor a readable trace file");
+  // Auto-detect the format by magic.
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  is.seekg(0);
+  if (std::string_view(magic, 8) == "PFSEMTR2") return trace::read_compact(is);
+  return trace::read_binary(is);
+}
+
+void print_report(const trace::TraceBundle& bundle) {
+  const auto log = core::reconstruct_accesses(bundle);
+  const auto report = core::detect_conflicts(log);
+  const auto pattern = core::classify_high_level(log, bundle.nranks);
+  const auto local = core::local_pattern(log);
+  const auto global = core::global_pattern(log);
+  const auto census = core::census_metadata(bundle);
+  core::HappensBefore hb(bundle.comm, bundle.nranks);
+  const auto advice = core::advise(report, &hb);
+  const auto meta = core::detect_metadata_dependencies(bundle, &hb);
+
+  std::cout << "ranks: " << bundle.nranks
+            << "   records: " << bundle.records.size()
+            << "   files: " << log.files.size() << "\n";
+  std::cout << "pattern: " << pattern.xy << " "
+            << core::to_string(pattern.layout) << " (dominant "
+            << pattern.dominant_file << ")\n";
+  std::cout << "transitions  local: " << fmt_pct(local.frac_consecutive())
+            << " consecutive / " << fmt_pct(local.frac_random())
+            << " random   global: " << fmt_pct(global.frac_consecutive())
+            << " consecutive / " << fmt_pct(global.frac_random()) << " random\n";
+  auto classes = [](const core::ConflictMatrix& m) {
+    std::string s;
+    if (m.waw_s) s += "WAW-S ";
+    if (m.waw_d) s += "WAW-D ";
+    if (m.raw_s) s += "RAW-S ";
+    if (m.raw_d) s += "RAW-D ";
+    return s.empty() ? std::string("none") : s;
+  };
+  std::cout << "conflicts   session: " << classes(report.session)
+            << "  commit: " << classes(report.commit) << "\n";
+  std::cout << "data races: " << (advice.race_free ? "none" : "PRESENT") << "\n";
+  std::cout << "metadata deps: " << meta.cross_process << " cross-process, "
+            << meta.unsynchronized << " not MPI-ordered\n";
+  std::cout << "metadata ops used: " << census.distinct_ops() << "\n";
+  std::cout << "verdict: weakest safe model = " << vfs::to_string(advice.weakest)
+            << "\n  " << advice.rationale << "\n";
+}
+
+void print_tuning(const trace::TraceBundle& bundle) {
+  const auto log = core::reconstruct_accesses(bundle);
+  const auto tuning = core::per_file_tuning(log);
+  Table t({"file", "weakest model", "bytes", "session pairs", "commit pairs"});
+  for (const auto& f : tuning.files) {
+    t.add_row({f.path, vfs::to_string(f.weakest), std::to_string(f.bytes),
+               std::to_string(f.session_pairs), std::to_string(f.commit_pairs)});
+  }
+  t.print(std::cout);
+  std::cout << "\n" << fmt_pct(tuning.relaxed_fraction())
+            << " of accessed bytes tolerate weaker-than-POSIX semantics; "
+            << fmt_pct(tuning.eventual_fraction())
+            << " even tolerate eventual consistency.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list") {
+      Table t({"Configuration", "Application", "I/O Library"});
+      for (const auto& info : apps::registry()) {
+        t.add_row({info.name, info.app, info.iolib});
+      }
+      t.print(std::cout);
+      return 0;
+    }
+    if (cmd == "run" && argc >= 3) {
+      print_report(obtain(argv[2], parse_options(argc, argv, 3)));
+      return 0;
+    }
+    if (cmd == "trace" && argc >= 4) {
+      const auto opt = parse_options(argc, argv, 4);
+      const auto bundle = obtain(argv[2], opt);
+      std::ofstream os(argv[3], std::ios::binary);
+      if (opt.compact) {
+        trace::write_compact(bundle, os);
+      } else {
+        trace::write_binary(bundle, os);
+      }
+      if (!os) throw Error(std::string("cannot write ") + argv[3]);
+      std::cout << "wrote " << bundle.records.size() << " records to "
+                << argv[3] << "\n";
+      return 0;
+    }
+    if (cmd == "analyze" && argc >= 3) {
+      print_report(obtain(argv[2], Options{}));
+      return 0;
+    }
+    if (cmd == "report" && argc >= 3) {
+      const auto bundle = obtain(argv[2], parse_options(argc, argv, 3));
+      const auto log = core::reconstruct_accesses(bundle);
+      const auto conflicts = core::detect_conflicts(log);
+      core::print_report(core::build_report(bundle, log, conflicts), std::cout);
+      return 0;
+    }
+    if (cmd == "advise" && argc >= 3) {
+      const auto bundle = obtain(argv[2], parse_options(argc, argv, 3));
+      const auto log = core::reconstruct_accesses(bundle);
+      const auto report = core::detect_conflicts(log);
+      core::HappensBefore hb(bundle.comm, bundle.nranks);
+      const auto advice = core::advise(report, &hb);
+      std::cout << vfs::to_string(advice.weakest) << "\n" << advice.rationale
+                << "\n";
+      return 0;
+    }
+    if (cmd == "tune" && argc >= 3) {
+      print_tuning(obtain(argv[2], parse_options(argc, argv, 3)));
+      return 0;
+    }
+    if (cmd == "remedy" && argc >= 3) {
+      const auto opt = parse_options(argc, argv, 3);
+      const auto bundle = obtain(argv[2], opt);
+      const auto log = core::reconstruct_accesses(bundle);
+      const core::RemedyOptions ropt{.strict = opt.strict};
+      const auto plan = core::suggest_commits(log, ropt);
+      if (plan.commits.empty()) {
+        std::cout << "no commit insertions needed: no cross-process "
+                     "commit-semantics conflicts (or the program already "
+                     "commits in every window)\n";
+      } else {
+        Table t({"file", "process", "insert fsync after (s)",
+                 "and before (s)", "pairs cleared"});
+        for (const auto& c : plan.commits) {
+          t.add_row({c.path, std::to_string(c.rank),
+                     fmt(to_seconds(c.after), 6), fmt(to_seconds(c.before), 6),
+                     std::to_string(c.pairs_cleared)});
+        }
+        t.print(std::cout);
+        const auto left = core::verify_plan(log, plan, ropt);
+        std::cout << "\nafter applying the plan: "
+                  << (left.any() ? "conflicts REMAIN" : "no conflicts remain")
+                  << "\n";
+      }
+      if (plan.uncoverable > 0) {
+        std::cout << plan.uncoverable
+                  << " pair(s) have no insertion window (accesses adjacent "
+                     "in time)\n";
+      }
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "pfsem: " << e.what() << "\n";
+    return 1;
+  }
+}

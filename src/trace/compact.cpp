@@ -1,0 +1,207 @@
+// Compact trace serialization: LEB128 varints, zig-zag signed encoding,
+// per-rank timestamp deltas, and an interned path table. This mirrors the
+// compression ideas of Recorder 2.0 (whose contribution over Recorder 1
+// was exactly that detailed multi-layer traces stay small): HPC I/O
+// records are highly regular, so deltas and small ids dominate.
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "pfsem/trace/serialize.hpp"
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::trace {
+
+namespace {
+
+constexpr char kMagic2[8] = {'P', 'F', 'S', 'E', 'M', 'T', 'R', '2'};
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    require(c != std::char_traits<char>::eof(), "truncated compact trace");
+    require(shift < 64, "overlong varint in compact trace");
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if (!(c & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put_varint(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const auto n = get_varint(is);
+  require(n <= (1u << 20), "implausible string length in compact trace");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  require(static_cast<bool>(is), "truncated compact trace");
+  return s;
+}
+
+}  // namespace
+
+void write_compact(const TraceBundle& bundle, std::ostream& os) {
+  os.write(kMagic2, sizeof kMagic2);
+  put_varint(os, static_cast<std::uint64_t>(bundle.nranks));
+
+  // Intern every path.
+  std::map<std::string, std::uint64_t> path_ids;
+  std::vector<const std::string*> paths;
+  for (const auto& r : bundle.records) {
+    if (path_ids.emplace(r.path, paths.size()).second) {
+      paths.push_back(&r.path);
+    }
+  }
+  put_varint(os, paths.size());
+  for (const auto* p : paths) put_string(os, *p);
+
+  put_varint(os, bundle.records.size());
+  std::vector<SimTime> last_t(static_cast<std::size_t>(bundle.nranks), 0);
+  for (const auto& r : bundle.records) {
+    auto& prev = last_t[static_cast<std::size_t>(r.rank)];
+    put_varint(os, static_cast<std::uint64_t>(r.rank));
+    put_varint(os, zigzag(r.tstart - prev));  // per-rank delta
+    put_varint(os, zigzag(r.tend - r.tstart));
+    prev = r.tstart;
+    put_varint(os, static_cast<std::uint64_t>(r.layer) |
+                       (static_cast<std::uint64_t>(r.origin) << 3) |
+                       (static_cast<std::uint64_t>(r.func) << 6));
+    put_varint(os, zigzag(r.fd));
+    put_varint(os, zigzag(r.ret));
+    put_varint(os, r.offset);
+    put_varint(os, r.count);
+    put_varint(os, zigzag(r.flags));
+    put_varint(os, path_ids.at(r.path));
+  }
+
+  put_varint(os, bundle.comm.p2p.size());
+  for (const auto& e : bundle.comm.p2p) {
+    put_varint(os, static_cast<std::uint64_t>(e.src));
+    put_varint(os, static_cast<std::uint64_t>(e.dst));
+    put_varint(os, zigzag(e.tag));
+    put_varint(os, e.bytes);
+    put_varint(os, zigzag(e.t_send_start));
+    put_varint(os, zigzag(e.t_send_end - e.t_send_start));
+    put_varint(os, zigzag(e.t_recv_start - e.t_send_start));
+    put_varint(os, zigzag(e.t_recv_end - e.t_recv_start));
+  }
+  put_varint(os, bundle.comm.collectives.size());
+  for (const auto& c : bundle.comm.collectives) {
+    put_varint(os, static_cast<std::uint64_t>(c.kind));
+    put_varint(os, zigzag(c.root));
+    put_varint(os, c.arrivals.size());
+    for (const auto& a : c.arrivals) {
+      put_varint(os, static_cast<std::uint64_t>(a.rank));
+      put_varint(os, zigzag(a.t_enter));
+      put_varint(os, zigzag(a.t_exit - a.t_enter));
+    }
+  }
+  require(static_cast<bool>(os), "compact trace write failure");
+}
+
+TraceBundle read_compact(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  require(static_cast<bool>(is) &&
+              std::equal(std::begin(magic), std::end(magic), kMagic2),
+          "not a compact pfsem trace");
+  TraceBundle b;
+  b.nranks = static_cast<int>(get_varint(is));
+  require(b.nranks > 0 && b.nranks < (1 << 24), "bad rank count");
+
+  const auto npaths = get_varint(is);
+  require(npaths <= (1u << 24), "implausible path-table size");
+  std::vector<std::string> paths;
+  paths.reserve(std::min<std::uint64_t>(npaths, 1u << 16));
+  for (std::uint64_t i = 0; i < npaths; ++i) paths.push_back(get_string(is));
+
+  const auto nrec = get_varint(is);
+  b.records.reserve(std::min<std::uint64_t>(nrec, 1u << 20));
+  std::vector<SimTime> last_t(static_cast<std::size_t>(b.nranks), 0);
+  for (std::uint64_t i = 0; i < nrec; ++i) {
+    Record r;
+    const auto rank = get_varint(is);
+    require(rank < static_cast<std::uint64_t>(b.nranks), "bad record rank");
+    r.rank = static_cast<Rank>(rank);
+    auto& prev = last_t[rank];
+    r.tstart = prev + unzigzag(get_varint(is));
+    r.tend = r.tstart + unzigzag(get_varint(is));
+    prev = r.tstart;
+    const auto packed = get_varint(is);
+    r.layer = static_cast<Layer>(packed & 0x7);
+    r.origin = static_cast<Layer>((packed >> 3) & 0x7);
+    const auto func = packed >> 6;
+    require(func < kFuncCount, "bad function id in compact trace");
+    r.func = static_cast<Func>(func);
+    r.fd = static_cast<std::int32_t>(unzigzag(get_varint(is)));
+    r.ret = unzigzag(get_varint(is));
+    r.offset = get_varint(is);
+    r.count = get_varint(is);
+    r.flags = static_cast<std::int32_t>(unzigzag(get_varint(is)));
+    const auto pid = get_varint(is);
+    require(pid < paths.size(), "bad path id in compact trace");
+    r.path = paths[pid];
+    b.records.push_back(std::move(r));
+  }
+
+  const auto np2p = get_varint(is);
+  b.comm.p2p.reserve(std::min<std::uint64_t>(np2p, 1u << 20));
+  for (std::uint64_t i = 0; i < np2p; ++i) {
+    P2PEvent e;
+    e.src = static_cast<Rank>(get_varint(is));
+    e.dst = static_cast<Rank>(get_varint(is));
+    e.tag = static_cast<std::int32_t>(unzigzag(get_varint(is)));
+    e.bytes = get_varint(is);
+    e.t_send_start = unzigzag(get_varint(is));
+    e.t_send_end = e.t_send_start + unzigzag(get_varint(is));
+    e.t_recv_start = e.t_send_start + unzigzag(get_varint(is));
+    e.t_recv_end = e.t_recv_start + unzigzag(get_varint(is));
+    b.comm.p2p.push_back(e);
+  }
+  const auto ncoll = get_varint(is);
+  b.comm.collectives.reserve(std::min<std::uint64_t>(ncoll, 1u << 20));
+  for (std::uint64_t i = 0; i < ncoll; ++i) {
+    CollectiveEvent c;
+    c.kind = static_cast<CollectiveKind>(get_varint(is));
+    c.root = static_cast<Rank>(unzigzag(get_varint(is)));
+    const auto na = get_varint(is);
+    require(na <= static_cast<std::uint64_t>(b.nranks), "bad arrival count");
+    for (std::uint64_t j = 0; j < na; ++j) {
+      CollectiveArrival a;
+      a.rank = static_cast<Rank>(get_varint(is));
+      a.t_enter = unzigzag(get_varint(is));
+      a.t_exit = a.t_enter + unzigzag(get_varint(is));
+      c.arrivals.push_back(a);
+    }
+    b.comm.collectives.push_back(std::move(c));
+  }
+  return b;
+}
+
+}  // namespace pfsem::trace

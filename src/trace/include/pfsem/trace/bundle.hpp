@@ -1,0 +1,30 @@
+#pragma once
+// A TraceBundle is everything one application run produces for analysis:
+// the per-call records from every layer, the matched communication events,
+// and the job geometry. It is the single input format of pfsem::core, the
+// way Recorder trace directories are the input of the paper's analysis.
+
+#include <vector>
+
+#include "pfsem/trace/comm_log.hpp"
+#include "pfsem/trace/record.hpp"
+
+namespace pfsem::trace {
+
+struct TraceBundle {
+  int nranks = 0;
+  /// All records, in emission order (monotone in global simulated time).
+  std::vector<Record> records;
+  CommLog comm;
+
+  /// Records of one rank, preserving order.
+  [[nodiscard]] std::vector<Record> rank_records(Rank r) const {
+    std::vector<Record> out;
+    for (const auto& rec : records) {
+      if (rec.rank == r) out.push_back(rec);
+    }
+    return out;
+  }
+};
+
+}  // namespace pfsem::trace

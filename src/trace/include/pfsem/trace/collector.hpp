@@ -1,0 +1,78 @@
+#pragma once
+// Trace capture. The simulated I/O stack calls Collector::emit with global
+// simulated timestamps; the collector converts them to the emitting rank's
+// local clock (applying the configured skew/drift) before storing, because
+// that is all a real tracer ever sees. Matched communication events are
+// appended to the embedded CommLog by pfsem::mpi through the same clock
+// conversion.
+
+#include <utility>
+#include <vector>
+
+#include "pfsem/sim/clock.hpp"
+#include "pfsem/trace/bundle.hpp"
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::trace {
+
+class Collector {
+ public:
+  /// `clocks` may be empty (perfect clocks) or one ClockModel per rank.
+  explicit Collector(int nranks, std::vector<sim::ClockModel> clocks = {})
+      : clocks_(std::move(clocks)) {
+    require(nranks > 0, "need at least one rank");
+    require(clocks_.empty() || std::ssize(clocks_) == nranks,
+            "clock vector must match rank count");
+    bundle_.nranks = nranks;
+  }
+
+  [[nodiscard]] int nranks() const { return bundle_.nranks; }
+
+  /// Local timestamp rank `r` would record for global time `t`.
+  [[nodiscard]] SimTime local_time(Rank r, SimTime t) const {
+    if (clocks_.empty()) return t;
+    return clocks_[static_cast<std::size_t>(r)].local_time(t);
+  }
+
+  /// Append a record whose tstart/tend are in *global* time; they are
+  /// converted to the emitting rank's local clock here.
+  void emit(Record r) {
+    require(r.rank >= 0 && r.rank < bundle_.nranks, "record rank out of range");
+    r.tstart = local_time(r.rank, r.tstart);
+    r.tend = local_time(r.rank, r.tend);
+    bundle_.records.push_back(std::move(r));
+  }
+
+  /// Record a matched point-to-point event (times given in global time).
+  void emit_p2p(P2PEvent e) {
+    e.t_send_start = local_time(e.src, e.t_send_start);
+    e.t_send_end = local_time(e.src, e.t_send_end);
+    e.t_recv_start = local_time(e.dst, e.t_recv_start);
+    e.t_recv_end = local_time(e.dst, e.t_recv_end);
+    bundle_.comm.p2p.push_back(e);
+  }
+
+  /// Record a matched collective (arrival times given in global time).
+  void emit_collective(CollectiveEvent e) {
+    for (auto& a : e.arrivals) {
+      a.t_enter = local_time(a.rank, a.t_enter);
+      a.t_exit = local_time(a.rank, a.t_exit);
+    }
+    bundle_.comm.collectives.push_back(std::move(e));
+  }
+
+  /// Number of records captured so far.
+  [[nodiscard]] std::size_t size() const { return bundle_.records.size(); }
+
+  /// Finish capture and take the bundle.
+  [[nodiscard]] TraceBundle take() { return std::exchange(bundle_, TraceBundle{}); }
+
+  /// Read-only view while capture is ongoing.
+  [[nodiscard]] const TraceBundle& bundle() const { return bundle_; }
+
+ private:
+  TraceBundle bundle_;
+  std::vector<sim::ClockModel> clocks_;
+};
+
+}  // namespace pfsem::trace

@@ -1,0 +1,84 @@
+#pragma once
+// Communication event log.
+//
+// Recorder also captures MPI communication calls; the paper uses them
+// (Section 5.2) to validate that the timestamp order of conflicting I/O
+// operations is enforced by the program's synchronization. We store matched
+// events: point-to-point sends/receives and collectives with per-rank
+// enter/exit times. The happens-before checker in pfsem::core rebuilds
+// vector clocks from exactly this information.
+
+#include <cstdint>
+#include <vector>
+
+#include "pfsem/util/types.hpp"
+
+namespace pfsem::trace {
+
+enum class CollectiveKind : std::uint8_t {
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Gather,
+  Allgather,
+  Scatter,
+  Alltoall,
+};
+
+[[nodiscard]] inline const char* to_string(CollectiveKind k) {
+  switch (k) {
+    case CollectiveKind::Barrier: return "barrier";
+    case CollectiveKind::Bcast: return "bcast";
+    case CollectiveKind::Reduce: return "reduce";
+    case CollectiveKind::Allreduce: return "allreduce";
+    case CollectiveKind::Gather: return "gather";
+    case CollectiveKind::Allgather: return "allgather";
+    case CollectiveKind::Scatter: return "scatter";
+    case CollectiveKind::Alltoall: return "alltoall";
+  }
+  return "?";
+}
+
+/// A matched point-to-point message. Happens-before edge: the send start
+/// precedes the receive completion (the only edge MPI guarantees).
+struct P2PEvent {
+  Rank src = kNoRank;
+  Rank dst = kNoRank;
+  std::int32_t tag = 0;
+  std::uint64_t bytes = 0;
+  SimTime t_send_start = 0;  ///< global (skew-free) time
+  SimTime t_send_end = 0;
+  SimTime t_recv_start = 0;
+  SimTime t_recv_end = 0;
+};
+
+/// One rank's participation interval in a collective.
+struct CollectiveArrival {
+  Rank rank = kNoRank;
+  SimTime t_enter = 0;
+  SimTime t_exit = 0;
+};
+
+/// A matched collective operation over an explicit participant group.
+/// Happens-before edges by kind:
+///   Barrier/Allreduce/Allgather/Alltoall : every enter -> every exit
+///   Bcast/Scatter                        : root enter  -> every exit
+///   Reduce/Gather                        : every enter -> root exit
+struct CollectiveEvent {
+  CollectiveKind kind = CollectiveKind::Barrier;
+  Rank root = kNoRank;  ///< kNoRank for rootless collectives
+  std::vector<CollectiveArrival> arrivals;
+};
+
+struct CommLog {
+  std::vector<P2PEvent> p2p;
+  std::vector<CollectiveEvent> collectives;
+
+  void clear() {
+    p2p.clear();
+    collectives.clear();
+  }
+};
+
+}  // namespace pfsem::trace

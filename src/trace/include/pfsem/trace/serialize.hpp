@@ -1,0 +1,35 @@
+#pragma once
+// Binary and text serialization of TraceBundles.
+//
+// The binary format is a compact little-endian stream (magic + version +
+// varint-free fixed-width fields, length-prefixed strings) so bundles can
+// be written by a run and re-analyzed later, mirroring Recorder's
+// trace-directory workflow. The text form is for human inspection.
+
+#include <iosfwd>
+
+#include "pfsem/trace/bundle.hpp"
+
+namespace pfsem::trace {
+
+/// Serialize `bundle` to `os`. Throws pfsem::Error on stream failure.
+void write_binary(const TraceBundle& bundle, std::ostream& os);
+
+/// Parse a bundle previously written by write_binary. Throws pfsem::Error
+/// on malformed input (bad magic, truncated stream, wrong version).
+[[nodiscard]] TraceBundle read_binary(std::istream& is);
+
+/// Human-readable dump (one line per record), optionally filtered by layer.
+void write_text(const TraceBundle& bundle, std::ostream& os);
+
+/// Compact format (Recorder 2.0's headline feature is trace compression):
+/// LEB128 varints, zig-zag signed fields, per-rank timestamp deltas, and
+/// an interned path table. Typically several times smaller than the
+/// fixed-width binary format on real traces.
+void write_compact(const TraceBundle& bundle, std::ostream& os);
+
+/// Parse a bundle written by write_compact. Throws pfsem::Error on
+/// malformed input.
+[[nodiscard]] TraceBundle read_compact(std::istream& is);
+
+}  // namespace pfsem::trace

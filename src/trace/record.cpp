@@ -1,0 +1,72 @@
+#include "pfsem/trace/record.hpp"
+
+#include <array>
+
+namespace pfsem::trace {
+
+std::string_view to_string(Layer layer) {
+  switch (layer) {
+    case Layer::Posix: return "POSIX";
+    case Layer::MpiIo: return "MPI-IO";
+    case Layer::Hdf5: return "HDF5";
+    case Layer::NetCdf: return "NetCDF";
+    case Layer::Adios: return "ADIOS";
+    case Layer::Silo: return "Silo";
+    case Layer::App: return "APP";
+  }
+  return "?";
+}
+
+std::string_view to_string(Func f) {
+  static constexpr std::array<std::string_view, kFuncCount> names = {
+#define PFSEM_NAME(name) #name,
+      PFSEM_FUNC_LIST(PFSEM_NAME)
+#undef PFSEM_NAME
+  };
+  const auto i = static_cast<std::size_t>(f);
+  return i < names.size() ? names[i] : "?";
+}
+
+bool is_metadata_func(Func f) {
+  switch (f) {
+    case Func::mmap:
+    case Func::msync:
+    case Func::stat:
+    case Func::lstat:
+    case Func::fstat:
+    case Func::getcwd:
+    case Func::mkdir:
+    case Func::rmdir:
+    case Func::chdir:
+    case Func::link:
+    case Func::unlink:
+    case Func::symlink:
+    case Func::readlink:
+    case Func::rename:
+    case Func::chmod:
+    case Func::chown:
+    case Func::utime:
+    case Func::opendir:
+    case Func::readdir:
+    case Func::closedir:
+    case Func::rewinddir:
+    case Func::mknod:
+    case Func::fcntl:
+    case Func::dup:
+    case Func::dup2:
+    case Func::pipe:
+    case Func::mkfifo:
+    case Func::umask:
+    case Func::fileno:
+    case Func::access:
+    case Func::tmpfile:
+    case Func::remove:
+    case Func::truncate:
+    case Func::ftruncate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pfsem::trace

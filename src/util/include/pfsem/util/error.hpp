@@ -1,0 +1,29 @@
+#pragma once
+// Error handling: pfsem uses exceptions for programming errors at module
+// boundaries (bad arguments, protocol misuse) and status codes for simulated
+// I/O errors that are part of the modelled behaviour (e.g. ENOENT from the
+// simulated PFS), mirroring how a real tracing/analysis stack distinguishes
+// "our bug" from "the traced application saw an error".
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace pfsem {
+
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throw pfsem::Error if `cond` is false. Used for API-contract checks that
+/// must hold in release builds too (unlike assert).
+inline void require(bool cond, const std::string& msg,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                ": " + msg);
+  }
+}
+
+}  // namespace pfsem

@@ -1,0 +1,77 @@
+#pragma once
+// Half-open byte extents [begin, end) and extent arithmetic.
+//
+// The paper's Algorithm 1 uses inclusive ending offsets; we use half-open
+// ranges internally (the natural C++ idiom) and convert at the reporting
+// boundary. An extent with begin == end is empty and overlaps nothing.
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "pfsem/util/types.hpp"
+
+namespace pfsem {
+
+/// A half-open byte range [begin, end) within a file.
+struct Extent {
+  Offset begin = 0;
+  Offset end = 0;  ///< one past the last byte
+
+  [[nodiscard]] constexpr Offset size() const { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const { return begin >= end; }
+
+  /// True if the two extents share at least one byte.
+  [[nodiscard]] constexpr bool overlaps(const Extent& o) const {
+    return begin < o.end && o.begin < end && !empty() && !o.empty();
+  }
+
+  /// True if `o` is fully contained in *this.
+  [[nodiscard]] constexpr bool contains(const Extent& o) const {
+    return begin <= o.begin && o.end <= end && !o.empty();
+  }
+
+  [[nodiscard]] constexpr bool contains(Offset byte) const {
+    return begin <= byte && byte < end;
+  }
+
+  /// Intersection; empty extent if disjoint.
+  [[nodiscard]] constexpr Extent intersect(const Extent& o) const {
+    const Offset b = std::max(begin, o.begin);
+    const Offset e = std::min(end, o.end);
+    return b < e ? Extent{b, e} : Extent{};
+  }
+
+  friend constexpr bool operator==(const Extent&, const Extent&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Extent& e) {
+  return os << '[' << e.begin << ',' << e.end << ')';
+}
+
+/// Merge overlapping/adjacent extents in-place; result is sorted & disjoint.
+inline void normalize(std::vector<Extent>& v) {
+  std::erase_if(v, [](const Extent& e) { return e.empty(); });
+  std::sort(v.begin(), v.end(), [](const Extent& a, const Extent& b) {
+    return a.begin < b.begin;
+  });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (out > 0 && v[i].begin <= v[out - 1].end) {
+      v[out - 1].end = std::max(v[out - 1].end, v[i].end);
+    } else {
+      v[out++] = v[i];
+    }
+  }
+  v.resize(out);
+}
+
+/// Total bytes covered by a normalized extent list.
+inline Offset covered_bytes(const std::vector<Extent>& v) {
+  Offset n = 0;
+  for (const auto& e : v) n += e.size();
+  return n;
+}
+
+}  // namespace pfsem

@@ -1,0 +1,38 @@
+#pragma once
+// Plain-text table and CSV rendering for the table/figure reproduction
+// binaries. Columns auto-size to content; the output style mirrors how the
+// paper's tables read (left-aligned text, right-aligned numbers).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pfsem {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with box-drawing separators to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (quotes only when needed).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 1);
+
+/// Format a percentage like "62.5%".
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace pfsem

@@ -1,0 +1,51 @@
+#pragma once
+// Core scalar types shared across the pfsem libraries.
+//
+// All simulated time is in integer nanoseconds so that event ordering is
+// exact and reproducible; a helper converts to floating seconds only for
+// human-facing output.
+
+#include <cstdint>
+#include <limits>
+
+namespace pfsem {
+
+/// Simulated time in nanoseconds since the start of the run (after the
+/// startup barrier, mirroring the paper's "exit time from the barrier as
+/// time = 0" normalization in Section 5.2).
+using SimTime = std::int64_t;
+
+/// A duration in simulated nanoseconds.
+using SimDuration = std::int64_t;
+
+/// MPI process rank within the simulated job.
+using Rank = std::int32_t;
+
+/// Byte offset within a file.
+using Offset = std::uint64_t;
+
+/// Sentinel: "event never happens" (used for e.g. "no succeeding commit").
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Sentinel: invalid/absent rank.
+inline constexpr Rank kNoRank = -1;
+
+namespace literals {
+/// 1 microsecond in SimTime units.
+inline constexpr SimDuration operator""_us(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000;
+}
+/// 1 millisecond in SimTime units.
+inline constexpr SimDuration operator""_ms(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000 * 1000;
+}
+/// 1 second in SimTime units.
+inline constexpr SimDuration operator""_s(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000 * 1000 * 1000;
+}
+}  // namespace literals
+
+/// Convert simulated nanoseconds to seconds for display.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace pfsem

@@ -1,0 +1,82 @@
+#include "pfsem/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto cell = [&](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      os << s;
+      return;
+    }
+    os << '"';
+    for (char ch : s) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      cell(row[c]);
+    }
+    os << '\n';
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace pfsem

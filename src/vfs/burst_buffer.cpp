@@ -1,0 +1,164 @@
+#include "pfsem/vfs/burst_buffer.hpp"
+
+namespace pfsem::vfs {
+
+BurstBufferPfs::BurstBufferPfs(BurstBufferConfig cfg) : cfg_(cfg) {
+  PfsConfig inner;
+  inner.model = ConsistencyModel::Commit;  // the BB semantics class
+  inner.meta_latency = cfg_.meta_latency;
+  // Inner costs are discarded; this backend prices operations itself.
+  inner.data_latency = 0;
+  inner_ = std::make_unique<Pfs>(inner);
+}
+
+BurstBufferPfs::~BurstBufferPfs() = default;
+
+SimDuration BurstBufferPfs::local_transfer(std::uint64_t bytes) const {
+  return cfg_.local_latency +
+         static_cast<SimDuration>(static_cast<double>(bytes) /
+                                  cfg_.local_bytes_per_ns);
+}
+
+SimDuration BurstBufferPfs::remote_transfer(std::uint64_t bytes) const {
+  return cfg_.remote_latency +
+         static_cast<SimDuration>(static_cast<double>(bytes) /
+                                  cfg_.remote_bytes_per_ns);
+}
+
+OpenResult BurstBufferPfs::open(Rank r, const std::string& path, int flags,
+                                SimTime now) {
+  auto res = inner_->open(r, path, flags, now);
+  res.cost = cfg_.meta_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::close(Rank r, int fd, SimTime now) {
+  auto res = inner_->close(r, fd, now);
+  // close publishes the caller's extents (a commit).
+  ++stats_.index_publishes;
+  res.cost = cfg_.index_publish_latency;
+  return res;
+}
+
+WriteResult BurstBufferPfs::write(Rank r, int fd, std::uint64_t count,
+                                  SimTime now) {
+  auto res = inner_->write(r, fd, count, now);
+  ++stats_.local_writes;
+  stats_.local_bytes += count;
+  res.cost = local_transfer(count);
+  return res;
+}
+
+WriteResult BurstBufferPfs::pwrite(Rank r, int fd, Offset off,
+                                   std::uint64_t count, SimTime now) {
+  auto res = inner_->pwrite(r, fd, off, count, now);
+  ++stats_.local_writes;
+  stats_.local_bytes += count;
+  res.cost = local_transfer(count);
+  return res;
+}
+
+ReadResult BurstBufferPfs::read(Rank r, int fd, std::uint64_t count,
+                                SimTime now) {
+  auto res = inner_->read(r, fd, count, now);
+  // Price by data placement: bytes written on the reader's node (or
+  // preloaded everywhere) are local; others cross the interconnect.
+  std::uint64_t local = 0, remote = 0;
+  for (const auto& e : res.extents) {
+    if (e.writer != kNoRank && node_of(e.writer) != node_of(r)) {
+      remote += e.ext.size();
+    } else {
+      local += e.ext.size();
+    }
+  }
+  if (remote > 0) {
+    ++stats_.remote_reads;
+    stats_.remote_bytes += remote;
+    res.cost = remote_transfer(remote) + local_transfer(local);
+  } else {
+    ++stats_.local_reads;
+    res.cost = local_transfer(local);
+  }
+  return res;
+}
+
+ReadResult BurstBufferPfs::pread(Rank r, int fd, Offset off,
+                                 std::uint64_t count, SimTime now) {
+  auto res = inner_->pread(r, fd, off, count, now);
+  std::uint64_t local = 0, remote = 0;
+  for (const auto& e : res.extents) {
+    if (e.writer != kNoRank && node_of(e.writer) != node_of(r)) {
+      remote += e.ext.size();
+    } else {
+      local += e.ext.size();
+    }
+  }
+  if (remote > 0) {
+    ++stats_.remote_reads;
+    stats_.remote_bytes += remote;
+    res.cost = remote_transfer(remote) + local_transfer(local);
+  } else {
+    ++stats_.local_reads;
+    res.cost = local_transfer(local);
+  }
+  return res;
+}
+
+MetaResult BurstBufferPfs::lseek(Rank r, int fd, std::int64_t delta, int whence,
+                                 SimTime now) {
+  return inner_->lseek(r, fd, delta, whence, now);
+}
+
+MetaResult BurstBufferPfs::fsync(Rank r, int fd, SimTime now) {
+  auto res = inner_->fsync(r, fd, now);
+  ++stats_.index_publishes;
+  res.cost = cfg_.index_publish_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::ftruncate(Rank r, int fd, Offset length,
+                                     SimTime now) {
+  auto res = inner_->ftruncate(r, fd, length, now);
+  res.cost = cfg_.meta_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::stat(const std::string& path, SimTime now) {
+  auto res = inner_->stat(path, now);
+  res.cost = cfg_.meta_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::access(const std::string& path, SimTime now) {
+  auto res = inner_->access(path, now);
+  res.cost = cfg_.meta_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::unlink(const std::string& path, SimTime now) {
+  auto res = inner_->unlink(path, now);
+  res.cost = cfg_.meta_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::mkdir(const std::string& path, SimTime now) {
+  auto res = inner_->mkdir(path, now);
+  res.cost = cfg_.meta_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::rename(const std::string& from, const std::string& to,
+                                  SimTime now) {
+  auto res = inner_->rename(from, to, now);
+  res.cost = cfg_.meta_latency;
+  return res;
+}
+
+MetaResult BurstBufferPfs::laminate(const std::string& path, SimTime now) {
+  auto res = inner_->laminate(path, now);
+  ++stats_.index_publishes;
+  res.cost = cfg_.index_publish_latency;
+  return res;
+}
+
+}  // namespace pfsem::vfs

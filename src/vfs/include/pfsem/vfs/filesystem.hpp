@@ -1,0 +1,49 @@
+#pragma once
+// Abstract file-system interface the simulated I/O stack runs against.
+// Implemented by vfs::Pfs (the consistency-model-parameterized parallel
+// file system) and vfs::BurstBufferPfs (a node-local burst-buffer tier
+// with commit semantics, UnifyFS/BurstFS style). Every operation takes
+// the current simulated time and returns a simulated cost the caller
+// advances the clock by.
+
+#include <string>
+
+#include "pfsem/vfs/pfs_types.hpp"
+
+namespace pfsem::vfs {
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual OpenResult open(Rank r, const std::string& path, int flags,
+                          SimTime now) = 0;
+  virtual MetaResult close(Rank r, int fd, SimTime now) = 0;
+  virtual WriteResult write(Rank r, int fd, std::uint64_t count, SimTime now) = 0;
+  virtual WriteResult pwrite(Rank r, int fd, Offset off, std::uint64_t count,
+                             SimTime now) = 0;
+  virtual ReadResult read(Rank r, int fd, std::uint64_t count, SimTime now) = 0;
+  virtual ReadResult pread(Rank r, int fd, Offset off, std::uint64_t count,
+                           SimTime now) = 0;
+  virtual MetaResult lseek(Rank r, int fd, std::int64_t delta, int whence,
+                           SimTime now) = 0;
+  virtual MetaResult fsync(Rank r, int fd, SimTime now) = 0;
+  virtual MetaResult ftruncate(Rank r, int fd, Offset length, SimTime now) = 0;
+
+  virtual MetaResult stat(const std::string& path, SimTime now) = 0;
+  virtual MetaResult access(const std::string& path, SimTime now) = 0;
+  virtual MetaResult unlink(const std::string& path, SimTime now) = 0;
+  virtual MetaResult mkdir(const std::string& path, SimTime now) = 0;
+  virtual MetaResult rename(const std::string& from, const std::string& to,
+                            SimTime now) = 0;
+
+  /// Stage pre-existing ("genesis") input data, visible to every process
+  /// under every model, with no trace records and no conflicts.
+  virtual void preload(const std::string& path, Offset size) = 0;
+
+  /// Metadata round-trip latency (used by the POSIX facade for utility
+  /// calls with no data movement).
+  [[nodiscard]] virtual SimDuration meta_latency() const = 0;
+};
+
+}  // namespace pfsem::vfs

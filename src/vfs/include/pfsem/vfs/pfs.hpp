@@ -1,0 +1,119 @@
+#pragma once
+// In-memory parallel file system simulator with pluggable consistency
+// semantics, implementing the four models of Section 3 of the paper:
+//
+//   Strong   — POSIX sequential consistency: a write is visible to every
+//              process the moment it returns (Lustre/GPFS/BeeGFS class).
+//   Commit   — writes become globally visible when the writer executes a
+//              commit (fsync/close) (UnifyFS/BurstFS/SymphonyFS class).
+//   Session  — writes become visible to a reader only if the writer closed
+//              the file before the reader opened it (NFS/Gfarm-BB class).
+//   Eventual — writes propagate after a configurable delay with no
+//              synchronization at all (PLFS/echofs class).
+//
+// Data buffers are never stored: each write gets a unique VersionTag and
+// reads return the tags visible to the reading process, so tests can tell
+// exactly *which* write a read observed and detect stale data. A read that
+// would return different bytes than POSIX-strong semantics is observable
+// staleness — the ground truth the conflict detector predicts.
+//
+// The Pfs is not coroutine-aware: operations take the current simulated
+// time and return a simulated cost which the caller (pfsem::iolib) awaits.
+// Under the strong model a distributed-lock cost model charges lock
+// acquisition/revocation traffic, the overhead the paper identifies as the
+// price of POSIX semantics (Section 3.1); data transfers are striped
+// round-robin across OSTs (PfsConfig::stripe_count).
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "pfsem/vfs/filesystem.hpp"
+#include "pfsem/vfs/pfs_types.hpp"
+
+namespace pfsem::vfs {
+
+class Pfs final : public FileSystem {
+ public:
+  explicit Pfs(PfsConfig cfg = {});
+  ~Pfs() override;
+  Pfs(const Pfs&) = delete;
+  Pfs& operator=(const Pfs&) = delete;
+
+  [[nodiscard]] const PfsConfig& config() const { return cfg_; }
+  [[nodiscard]] const LockStats& lock_stats() const { return locks_; }
+  [[nodiscard]] const OstStats& ost_stats() const { return osts_; }
+  [[nodiscard]] SimDuration meta_latency() const override {
+    return cfg_.meta_latency;
+  }
+
+  // --- file data operations (see FileSystem) ----------------------------
+  OpenResult open(Rank r, const std::string& path, int flags,
+                  SimTime now) override;
+  MetaResult close(Rank r, int fd, SimTime now) override;
+  WriteResult write(Rank r, int fd, std::uint64_t count, SimTime now) override;
+  WriteResult pwrite(Rank r, int fd, Offset off, std::uint64_t count,
+                     SimTime now) override;
+  ReadResult read(Rank r, int fd, std::uint64_t count, SimTime now) override;
+  ReadResult pread(Rank r, int fd, Offset off, std::uint64_t count,
+                   SimTime now) override;
+  MetaResult lseek(Rank r, int fd, std::int64_t delta, int whence,
+                   SimTime now) override;
+  MetaResult fsync(Rank r, int fd, SimTime now) override;
+  MetaResult ftruncate(Rank r, int fd, Offset length, SimTime now) override;
+
+  /// UnifyFS-style lamination (Section 3.2): make every write to `path`
+  /// globally visible and the file permanently read-only. Subsequent
+  /// writes fail with ret -1 regardless of model.
+  MetaResult laminate(const std::string& path, SimTime now);
+
+  // --- namespace / metadata operations ----------------------------------
+  MetaResult stat(const std::string& path, SimTime now) override;
+  MetaResult access(const std::string& path, SimTime now) override;
+  MetaResult unlink(const std::string& path, SimTime now) override;
+  MetaResult mkdir(const std::string& path, SimTime now) override;
+  MetaResult rename(const std::string& from, const std::string& to,
+                    SimTime now) override;
+
+  /// Create `path` with `size` bytes of pre-existing ("genesis") content,
+  /// visible to every process under every consistency model — input files
+  /// staged before the traced job starts (datasets, configuration decks).
+  /// Emits no trace records and no conflicts.
+  void preload(const std::string& path, Offset size) override;
+
+  // --- introspection (tests & benches) ----------------------------------
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] Offset file_size(const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> list_files() const;
+
+  /// What a POSIX-strong PFS would return for this range right now — the
+  /// oracle tests compare weaker-model reads against to detect staleness.
+  [[nodiscard]] std::vector<ReadExtent> strong_view(const std::string& path,
+                                                    Offset off,
+                                                    std::uint64_t count) const;
+
+ private:
+  struct File;
+  struct OpenFile;
+
+  File& file_for_fd(Rank r, int fd);
+  std::shared_ptr<File> lookup(const std::string& path) const;
+  SimDuration charge_locks(File& f, Rank r, Extent ext, bool exclusive);
+  /// Transfer cost of `ext` across the striped OSTs (updates ost_stats).
+  SimDuration charge_transfer(Extent ext);
+  std::vector<ReadExtent> resolve(const File& f, Rank r, SimTime now,
+                                  SimTime session_open, Offset off,
+                                  std::uint64_t count) const;
+
+  PfsConfig cfg_;
+  std::map<std::string, std::shared_ptr<File>> files_;
+  std::set<std::string> dirs_;
+  std::map<std::pair<Rank, int>, std::unique_ptr<OpenFile>> open_files_;
+  std::map<Rank, int> next_fd_;
+  VersionTag next_version_ = 1;
+  LockStats locks_;
+  OstStats osts_;
+};
+
+}  // namespace pfsem::vfs

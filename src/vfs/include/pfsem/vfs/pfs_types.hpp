@@ -1,0 +1,88 @@
+#pragma once
+// Shared value types of the simulated file systems: consistency models,
+// configuration, per-operation results, and traffic counters. Split out of
+// pfs.hpp so the FileSystem interface and alternative backends (burst
+// buffer) can share them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfsem/util/extent.hpp"
+#include "pfsem/util/types.hpp"
+
+namespace pfsem::vfs {
+
+enum class ConsistencyModel : std::uint8_t { Strong, Commit, Session, Eventual };
+
+[[nodiscard]] const char* to_string(ConsistencyModel m);
+
+/// Unique id of a write operation; 0 denotes never-written ("hole") bytes.
+using VersionTag = std::uint64_t;
+
+struct PfsConfig {
+  ConsistencyModel model = ConsistencyModel::Strong;
+  /// Eventual model: delay until a write is visible to other processes.
+  SimDuration eventual_propagation = 50'000'000;  // 50 ms
+  /// Metadata-server round trip (open/close/stat/...).
+  SimDuration meta_latency = 30'000;  // 30 us
+  /// Per-data-op base latency (client->OSS round trip).
+  SimDuration data_latency = 50'000;  // 50 us
+  /// Aggregate data bandwidth (per OST when striping).
+  double bytes_per_ns = 5.0;  // 5 GB/s
+  /// Extra latency charged per lock message under the strong model.
+  SimDuration lock_latency = 10'000;  // 10 us
+  /// Byte granularity of distributed locks (strong model only).
+  Offset lock_block = 1u << 20;
+  /// Lustre-style striping: files are striped round-robin over
+  /// `stripe_count` object storage targets in `stripe_size` chunks; each
+  /// OST serves `bytes_per_ns` of bandwidth independently, so an access
+  /// costs the *maximum* per-OST transfer, and every OST touched by an
+  /// access is one more RPC. stripe_count == 1 reproduces the unstriped
+  /// model exactly.
+  int stripe_count = 1;
+  Offset stripe_size = 1u << 20;
+};
+
+/// Per-OST traffic counters (requests and bytes served), for the striping
+/// ablation benches.
+struct OstStats {
+  std::vector<std::uint64_t> requests;
+  std::vector<std::uint64_t> bytes;
+};
+
+/// A slice of a read result: which write (and writer) produced these bytes.
+struct ReadExtent {
+  Extent ext;
+  VersionTag version = 0;  ///< 0 = hole (never written / not yet visible)
+  Rank writer = kNoRank;
+};
+
+struct OpenResult {
+  int fd = -1;
+  SimDuration cost = 0;
+};
+struct WriteResult {
+  VersionTag version = 0;
+  Offset offset = 0;  ///< where the write landed (relevant for O_APPEND)
+  SimDuration cost = 0;
+};
+struct ReadResult {
+  std::vector<ReadExtent> extents;
+  Offset offset = 0;
+  std::uint64_t bytes = 0;  ///< bytes actually read (clipped at EOF)
+  SimDuration cost = 0;
+};
+struct MetaResult {
+  std::int64_t ret = 0;  ///< 0/-1 success/failure, or a size for stat
+  SimDuration cost = 0;
+};
+
+/// Counters for the strong-model lock cost ablation (bench_perf_vfs).
+struct LockStats {
+  std::uint64_t requests = 0;     ///< lock acquisitions sent to the MDS
+  std::uint64_t revocations = 0;  ///< conflicting holders called back
+  std::uint64_t meta_ops = 0;     ///< metadata-server round trips
+};
+
+}  // namespace pfsem::vfs

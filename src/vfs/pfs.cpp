@@ -1,0 +1,527 @@
+#include "pfsem/vfs/pfs.hpp"
+
+#include <algorithm>
+
+#include "pfsem/trace/record.hpp"
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::vfs {
+
+const char* to_string(ConsistencyModel m) {
+  switch (m) {
+    case ConsistencyModel::Strong: return "strong";
+    case ConsistencyModel::Commit: return "commit";
+    case ConsistencyModel::Session: return "session";
+    case ConsistencyModel::Eventual: return "eventual";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One recorded write. t_commit/t_publish start at kTimeNever and are set
+/// by fsync (commit) and close (commit + publish) respectively.
+struct WriteRecord {
+  VersionTag id = 0;
+  Rank writer = kNoRank;
+  Extent ext;
+  SimTime t_write = 0;
+  SimTime t_commit = kTimeNever;
+  SimTime t_publish = kTimeNever;
+};
+
+struct LockBlock {
+  bool exclusive = false;
+  std::set<Rank> holders;
+};
+
+/// Piece of a resolved read range: [begin, end) carries version v by w.
+struct Seg {
+  Offset end = 0;
+  VersionTag v = 0;
+  Rank w = kNoRank;
+};
+
+/// Overwrite [e.begin, e.end) in the segment map with (v, w).
+void assign(std::map<Offset, Seg>& m, Extent e, VersionTag v, Rank w) {
+  auto split = [&m](Offset x) {
+    auto it = m.upper_bound(x);
+    if (it == m.begin()) return;
+    --it;
+    if (it->first < x && x < it->second.end) {
+      Seg right = it->second;
+      it->second.end = x;
+      m.emplace(x, right);
+    }
+  };
+  split(e.begin);
+  split(e.end);
+  auto it = m.lower_bound(e.begin);
+  while (it != m.end() && it->first < e.end) it = m.erase(it);
+  m.emplace(e.begin, Seg{e.end, v, w});
+}
+
+}  // namespace
+
+struct Pfs::File {
+  std::string path;
+  std::vector<WriteRecord> writes;
+  Offset size = 0;
+  bool laminated = false;
+  std::map<Offset, LockBlock> locks;  // keyed by block index
+  /// Block index over `writes` (4 MiB buckets): resolve() only scans
+  /// writes overlapping the read's blocks instead of the whole history.
+  static constexpr Offset kIndexBlock = 4u << 20;
+  std::map<Offset, std::vector<std::uint32_t>> write_index;
+
+  void index_write(std::uint32_t idx) {
+    const Extent& e = writes[idx].ext;
+    if (e.empty()) return;
+    const Offset first = e.begin / kIndexBlock;
+    const Offset last = (e.end - 1) / kIndexBlock;
+    for (Offset b = first; b <= last; ++b) write_index[b].push_back(idx);
+  }
+  void rebuild_index() {
+    write_index.clear();
+    for (std::uint32_t i = 0; i < writes.size(); ++i) index_write(i);
+  }
+};
+
+struct Pfs::OpenFile {
+  std::shared_ptr<File> file;
+  int flags = 0;
+  Offset offset = 0;
+  SimTime t_open = 0;
+};
+
+Pfs::Pfs(PfsConfig cfg) : cfg_(cfg) {
+  require(cfg_.stripe_count >= 1, "stripe_count must be >= 1");
+  require(cfg_.stripe_size > 0, "stripe_size must be positive");
+  dirs_.insert("/");
+  osts_.requests.assign(static_cast<std::size_t>(cfg_.stripe_count), 0);
+  osts_.bytes.assign(static_cast<std::size_t>(cfg_.stripe_count), 0);
+}
+Pfs::~Pfs() = default;
+
+std::shared_ptr<Pfs::File> Pfs::lookup(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+Pfs::File& Pfs::file_for_fd(Rank r, int fd) {
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "bad file descriptor");
+  return *it->second->file;
+}
+
+// ----------------------------------------------------------------------
+// lock cost model (strong semantics only)
+
+SimDuration Pfs::charge_locks(File& f, Rank r, Extent ext, bool exclusive) {
+  if (cfg_.model != ConsistencyModel::Strong || ext.empty()) return 0;
+  SimDuration cost = 0;
+  const Offset first = ext.begin / cfg_.lock_block;
+  const Offset last = (ext.end - 1) / cfg_.lock_block;
+  for (Offset b = first; b <= last; ++b) {
+    LockBlock& blk = f.locks[b];
+    // An exclusive request is satisfied only by a sole exclusive hold; a
+    // shared request is satisfied by any existing hold of ours (a sole
+    // exclusive hold also permits reading).
+    const bool held_ok =
+        exclusive ? (blk.exclusive && blk.holders.size() == 1 &&
+                     blk.holders.contains(r))
+                  : blk.holders.contains(r);
+    if (held_ok) continue;
+    ++locks_.requests;
+    cost += cfg_.lock_latency;
+    // Call back conflicting holders.
+    std::size_t conflicting = 0;
+    if (exclusive) {
+      conflicting = blk.holders.size() - (blk.holders.contains(r) ? 1 : 0);
+    } else if (blk.exclusive && !blk.holders.contains(r)) {
+      conflicting = blk.holders.size();
+    }
+    if (conflicting > 0) {
+      locks_.revocations += conflicting;
+      cost += cfg_.lock_latency * static_cast<SimDuration>(conflicting);
+    }
+    if (exclusive) {
+      blk.holders = {r};
+      blk.exclusive = true;
+    } else {
+      if (blk.exclusive) blk.holders.clear();
+      blk.exclusive = false;
+      blk.holders.insert(r);
+    }
+  }
+  return cost;
+}
+
+SimDuration Pfs::charge_transfer(Extent ext) {
+  if (ext.empty()) return 0;
+  const auto n = static_cast<std::size_t>(cfg_.stripe_count);
+  if (n == 1) {
+    ++osts_.requests[0];
+    osts_.bytes[0] += ext.size();
+    return static_cast<SimDuration>(static_cast<double>(ext.size()) /
+                                    cfg_.bytes_per_ns);
+  }
+  // Distribute the extent over the round-robin stripe layout.
+  std::vector<Offset> per_ost(n, 0);
+  Offset pos = ext.begin;
+  while (pos < ext.end) {
+    const Offset stripe_idx = pos / cfg_.stripe_size;
+    const Offset stripe_end = (stripe_idx + 1) * cfg_.stripe_size;
+    const Offset chunk = std::min(ext.end, stripe_end) - pos;
+    per_ost[static_cast<std::size_t>(stripe_idx % n)] += chunk;
+    pos += chunk;
+  }
+  Offset worst = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (per_ost[i] == 0) continue;
+    ++osts_.requests[i];
+    osts_.bytes[i] += per_ost[i];
+    worst = std::max(worst, per_ost[i]);
+  }
+  return static_cast<SimDuration>(static_cast<double>(worst) /
+                                  cfg_.bytes_per_ns);
+}
+
+// ----------------------------------------------------------------------
+// open / close
+
+OpenResult Pfs::open(Rank r, const std::string& path, int flags, SimTime now) {
+  ++locks_.meta_ops;
+  auto f = lookup(path);
+  if (!f) {
+    if (!(flags & trace::kCreate)) return {-1, cfg_.meta_latency};
+    f = std::make_shared<File>();
+    f->path = path;
+    files_[path] = f;
+  }
+  if (flags & trace::kTrunc) {
+    f->writes.clear();
+    f->write_index.clear();
+    f->size = 0;
+  }
+  auto of = std::make_unique<OpenFile>();
+  of->file = f;
+  of->flags = flags;
+  of->offset = 0;
+  of->t_open = now;
+  int& next = next_fd_[r];
+  if (next < 3) next = 3;
+  const int fd = next++;
+  open_files_[{r, fd}] = std::move(of);
+  return {fd, cfg_.meta_latency};
+}
+
+MetaResult Pfs::close(Rank r, int fd, SimTime now) {
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "close: bad file descriptor");
+  File& f = *it->second->file;
+  // close is both a commit (paper footnote 2) and the session publish point.
+  for (auto& w : f.writes) {
+    if (w.writer != r) continue;
+    if (w.t_commit == kTimeNever) w.t_commit = now;
+    if (w.t_publish == kTimeNever) w.t_publish = now;
+  }
+  // Release this rank's locks.
+  if (cfg_.model == ConsistencyModel::Strong) {
+    for (auto& [blk, lock] : f.locks) lock.holders.erase(r);
+  }
+  open_files_.erase(it);
+  ++locks_.meta_ops;
+  return {0, cfg_.meta_latency};
+}
+
+// ----------------------------------------------------------------------
+// data ops
+
+WriteResult Pfs::write(Rank r, int fd, std::uint64_t count, SimTime now) {
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "write: bad file descriptor");
+  OpenFile& of = *it->second;
+  const Offset off = (of.flags & trace::kAppend) ? of.file->size : of.offset;
+  WriteResult res = pwrite(r, fd, off, count, now);
+  of.offset = off + count;
+  return res;
+}
+
+WriteResult Pfs::pwrite(Rank r, int fd, Offset off, std::uint64_t count,
+                        SimTime now) {
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "pwrite: bad file descriptor");
+  File& f = *it->second->file;
+  if (f.laminated) return {0, off, cfg_.data_latency};  // read-only forever
+  WriteRecord w;
+  w.id = next_version_++;
+  w.writer = r;
+  w.ext = {off, off + count};
+  w.t_write = now;
+  if (cfg_.model == ConsistencyModel::Strong) {
+    w.t_commit = now;
+    w.t_publish = now;
+  }
+  f.writes.push_back(w);
+  f.index_write(static_cast<std::uint32_t>(f.writes.size() - 1));
+  f.size = std::max(f.size, w.ext.end);
+  SimDuration cost = cfg_.data_latency + charge_transfer(w.ext);
+  cost += charge_locks(f, r, w.ext, /*exclusive=*/true);
+  return {w.id, off, cost};
+}
+
+ReadResult Pfs::read(Rank r, int fd, std::uint64_t count, SimTime now) {
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "read: bad file descriptor");
+  OpenFile& of = *it->second;
+  ReadResult res = pread(r, fd, of.offset, count, now);
+  of.offset += res.bytes;
+  return res;
+}
+
+ReadResult Pfs::pread(Rank r, int fd, Offset off, std::uint64_t count,
+                      SimTime now) {
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "pread: bad file descriptor");
+  OpenFile& of = *it->second;
+  File& f = *of.file;
+  ReadResult res;
+  res.offset = off;
+  res.bytes = off >= f.size ? 0 : std::min<std::uint64_t>(count, f.size - off);
+  if (res.bytes > 0) {
+    res.extents = resolve(f, r, now, of.t_open, off, res.bytes);
+  }
+  res.cost = cfg_.data_latency + charge_transfer({off, off + res.bytes});
+  res.cost += charge_locks(f, r, {off, off + res.bytes}, /*exclusive=*/false);
+  return res;
+}
+
+MetaResult Pfs::lseek(Rank r, int fd, std::int64_t delta, int whence,
+                      SimTime now) {
+  (void)now;
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "lseek: bad file descriptor");
+  OpenFile& of = *it->second;
+  std::int64_t base = 0;
+  switch (whence) {
+    case trace::kSeekSet: base = 0; break;
+    case trace::kSeekCur: base = static_cast<std::int64_t>(of.offset); break;
+    case trace::kSeekEnd: base = static_cast<std::int64_t>(of.file->size); break;
+    default: require(false, "lseek: bad whence");
+  }
+  const std::int64_t pos = base + delta;
+  if (pos < 0) return {-1, 0};
+  of.offset = static_cast<Offset>(pos);
+  return {pos, 0};
+}
+
+MetaResult Pfs::fsync(Rank r, int fd, SimTime now) {
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "fsync: bad file descriptor");
+  File& f = *it->second->file;
+  for (auto& w : f.writes) {
+    if (w.writer == r && w.t_commit == kTimeNever) w.t_commit = now;
+  }
+  ++locks_.meta_ops;
+  return {0, cfg_.meta_latency};
+}
+
+MetaResult Pfs::laminate(const std::string& path, SimTime now) {
+  auto f = lookup(path);
+  if (!f) return {-1, cfg_.meta_latency};
+  for (auto& w : f->writes) {
+    if (w.t_commit == kTimeNever) w.t_commit = now;
+    if (w.t_publish == kTimeNever) w.t_publish = now;
+  }
+  f->laminated = true;
+  ++locks_.meta_ops;
+  return {0, cfg_.meta_latency};
+}
+
+MetaResult Pfs::ftruncate(Rank r, int fd, Offset length, SimTime now) {
+  (void)now;
+  auto it = open_files_.find({r, fd});
+  require(it != open_files_.end(), "ftruncate: bad file descriptor");
+  File& f = *it->second->file;
+  if (length < f.size) {
+    // Clip recorded writes so re-grown regions read as holes, like a real
+    // zero-filling truncate.
+    std::erase_if(f.writes, [&](const WriteRecord& w) { return w.ext.begin >= length; });
+    for (auto& w : f.writes) w.ext.end = std::min(w.ext.end, length);
+    f.rebuild_index();
+  }
+  f.size = length;
+  ++locks_.meta_ops;
+  return {0, cfg_.meta_latency};
+}
+
+// ----------------------------------------------------------------------
+// namespace ops
+
+MetaResult Pfs::stat(const std::string& path, SimTime) {
+  ++locks_.meta_ops;
+  auto f = lookup(path);
+  if (f) return {static_cast<std::int64_t>(f->size), cfg_.meta_latency};
+  if (dirs_.contains(path)) return {0, cfg_.meta_latency};
+  return {-1, cfg_.meta_latency};
+}
+
+MetaResult Pfs::access(const std::string& path, SimTime) {
+  ++locks_.meta_ops;
+  return {lookup(path) || dirs_.contains(path) ? 0 : -1, cfg_.meta_latency};
+}
+
+MetaResult Pfs::unlink(const std::string& path, SimTime) {
+  ++locks_.meta_ops;
+  return {files_.erase(path) > 0 ? 0 : -1, cfg_.meta_latency};
+}
+
+MetaResult Pfs::mkdir(const std::string& path, SimTime) {
+  ++locks_.meta_ops;
+  return {dirs_.insert(path).second ? 0 : -1, cfg_.meta_latency};
+}
+
+MetaResult Pfs::rename(const std::string& from, const std::string& to, SimTime) {
+  ++locks_.meta_ops;
+  auto f = lookup(from);
+  if (!f) return {-1, cfg_.meta_latency};
+  files_.erase(from);
+  f->path = to;
+  files_[to] = f;
+  return {0, cfg_.meta_latency};
+}
+
+// ----------------------------------------------------------------------
+// visibility resolution
+
+std::vector<ReadExtent> Pfs::resolve(const File& f, Rank r, SimTime now,
+                                     SimTime session_open, Offset off,
+                                     std::uint64_t count) const {
+  const Extent range{off, off + count};
+  // Collect visible writes with their effective-visibility key.
+  struct Cand {
+    SimTime key;
+    const WriteRecord* w;
+  };
+  std::vector<Cand> cands;
+  // Gather candidate writes from the block index (deduplicated: a write
+  // spanning several blocks appears once per block).
+  std::vector<std::uint32_t> candidates;
+  {
+    const Offset first = range.begin / File::kIndexBlock;
+    const Offset last = range.end == 0 ? 0 : (range.end - 1) / File::kIndexBlock;
+    for (auto it = f.write_index.lower_bound(first);
+         it != f.write_index.end() && it->first <= last; ++it) {
+      candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  for (std::uint32_t ci : candidates) {
+    const auto& w = f.writes[ci];
+    if (!w.ext.overlaps(range)) continue;
+    SimTime key = kTimeNever;
+    if (w.writer == r || w.writer == kNoRank || f.laminated) {
+      // Own writes are always visible in order; genesis (preloaded) data
+      // predates the run and laminated files are globally visible under
+      // every model.
+      key = w.t_write;
+    } else {
+      switch (cfg_.model) {
+        case ConsistencyModel::Strong:
+          key = w.t_write;
+          break;
+        case ConsistencyModel::Commit:
+          key = w.t_commit;
+          if (key == kTimeNever || key > now) continue;
+          break;
+        case ConsistencyModel::Session:
+          key = w.t_publish;
+          if (key == kTimeNever || key > session_open) continue;
+          break;
+        case ConsistencyModel::Eventual:
+          key = w.t_write + cfg_.eventual_propagation;
+          if (key > now) continue;
+          break;
+      }
+    }
+    if (key > now) continue;
+    cands.push_back({key, &w});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    return a.key != b.key ? a.key < b.key : a.w->id < b.w->id;
+  });
+  std::map<Offset, Seg> m;
+  m.emplace(range.begin, Seg{range.end, 0, kNoRank});
+  for (const auto& c : cands) {
+    assign(m, c.w->ext.intersect(range), c.w->id, c.w->writer);
+  }
+  std::vector<ReadExtent> out;
+  for (const auto& [begin, seg] : m) {
+    if (!out.empty() && out.back().version == seg.v &&
+        out.back().writer == seg.w && out.back().ext.end == begin) {
+      out.back().ext.end = seg.end;
+    } else {
+      out.push_back({{begin, seg.end}, seg.v, seg.w});
+    }
+  }
+  return out;
+}
+
+std::vector<ReadExtent> Pfs::strong_view(const std::string& path, Offset off,
+                                         std::uint64_t count) const {
+  auto f = lookup(path);
+  require(f != nullptr, "strong_view: no such file");
+  const Extent range{off, off + count};
+  std::map<Offset, Seg> m;
+  m.emplace(range.begin, Seg{range.end, 0, kNoRank});
+  // Writes are stored in write order; later writes overwrite earlier ones.
+  for (const auto& w : f->writes) {
+    if (w.ext.overlaps(range)) assign(m, w.ext.intersect(range), w.id, w.writer);
+  }
+  std::vector<ReadExtent> out;
+  for (const auto& [begin, seg] : m) {
+    if (!out.empty() && out.back().version == seg.v &&
+        out.back().writer == seg.w && out.back().ext.end == begin) {
+      out.back().ext.end = seg.end;
+    } else {
+      out.push_back({{begin, seg.end}, seg.v, seg.w});
+    }
+  }
+  return out;
+}
+
+void Pfs::preload(const std::string& path, Offset size) {
+  require(!exists(path), "preload: file already exists: " + path);
+  auto f = std::make_shared<File>();
+  f->path = path;
+  WriteRecord w;
+  w.id = next_version_++;
+  w.writer = kNoRank;
+  w.ext = {0, size};
+  w.t_write = -1;
+  w.t_commit = -1;
+  w.t_publish = -1;
+  f->writes.push_back(w);
+  f->index_write(0);
+  f->size = size;
+  files_[path] = std::move(f);
+}
+
+bool Pfs::exists(const std::string& path) const { return lookup(path) != nullptr; }
+
+Offset Pfs::file_size(const std::string& path) const {
+  auto f = lookup(path);
+  return f ? f->size : 0;
+}
+
+std::vector<std::string> Pfs::list_files() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, f] : files_) out.push_back(path);
+  return out;
+}
+
+}  // namespace pfsem::vfs

@@ -1,0 +1,112 @@
+// Unit tests for the semantics advisor (weakest-safe-model logic).
+
+#include <gtest/gtest.h>
+
+#include "pfsem/core/advisor.hpp"
+
+namespace pfsem::core {
+namespace {
+
+using vfs::ConsistencyModel;
+
+ConflictReport report_with(ConflictMatrix session, ConflictMatrix commit,
+                           std::uint64_t pairs) {
+  ConflictReport r;
+  r.session = session;
+  r.commit = commit;
+  r.potential_pairs = pairs;
+  return r;
+}
+
+TEST(Advisor, NoPairsMeansEventualIsSafe) {
+  const auto a = advise(report_with({}, {}, 0));
+  EXPECT_EQ(a.weakest, ConsistencyModel::Eventual);
+  EXPECT_EQ(a.weakest_strict, ConsistencyModel::Eventual);
+  EXPECT_TRUE(a.race_free);
+}
+
+TEST(Advisor, CleanSessionMeansSession) {
+  const auto a = advise(report_with({}, {}, 10));
+  EXPECT_EQ(a.weakest, ConsistencyModel::Session);
+  EXPECT_EQ(a.weakest_strict, ConsistencyModel::Session);
+}
+
+TEST(Advisor, SameProcessConflictsStillSessionForMostPfs) {
+  ConflictMatrix s;
+  s.waw_s = true;
+  s.raw_s = true;
+  s.count = 4;
+  ConflictMatrix c = s;
+  const auto a = advise(report_with(s, c, 10));
+  EXPECT_EQ(a.weakest, ConsistencyModel::Session)
+      << "S-only conflicts are handled by every studied PFS but BurstFS";
+  EXPECT_EQ(a.weakest_strict, ConsistencyModel::Strong)
+      << "a BurstFS-class PFS cannot even order same-process accesses";
+}
+
+TEST(Advisor, CrossProcessSessionConflictClearedByCommit) {
+  ConflictMatrix s;
+  s.waw_d = true;
+  s.count = 2;
+  const auto a = advise(report_with(s, {}, 10));
+  EXPECT_EQ(a.weakest, ConsistencyModel::Commit)
+      << "the FLASH case: D conflicts under session, none under commit";
+}
+
+TEST(Advisor, CrossProcessCommitConflictNeedsStrong) {
+  ConflictMatrix s;
+  s.raw_d = true;
+  ConflictMatrix c;
+  c.raw_d = true;
+  const auto a = advise(report_with(s, c, 10));
+  EXPECT_EQ(a.weakest, ConsistencyModel::Strong);
+}
+
+TEST(Advisor, RationaleMentionsDecision) {
+  ConflictMatrix s;
+  s.waw_d = true;
+  const auto a = advise(report_with(s, {}, 10));
+  EXPECT_FALSE(a.rationale.empty());
+  EXPECT_NE(a.rationale.find("commit"), std::string::npos);
+}
+
+TEST(Advisor, RaceDetectionOverridesRationale) {
+  // A racy pair (no HB order between the conflicting accesses).
+  trace::CommLog log;
+  HappensBefore hb(log, 2);
+  ConflictReport r;
+  Conflict c;
+  c.first.rank = 0;
+  c.first.t = 100;
+  c.second.rank = 1;
+  c.second.t = 200;
+  r.conflicts.push_back(c);
+  r.potential_pairs = 1;
+  r.session.waw_d = true;
+  const auto a = advise(r, &hb);
+  EXPECT_FALSE(a.race_free);
+  EXPECT_NE(a.rationale.find("non-deterministic"), std::string::npos);
+}
+
+TEST(Advisor, SynchronizedConflictIsRaceFree) {
+  trace::CommLog log;
+  trace::CollectiveEvent ev;
+  ev.kind = trace::CollectiveKind::Barrier;
+  ev.root = kNoRank;
+  ev.arrivals = {{0, 150, 160}, {1, 150, 160}};
+  log.collectives.push_back(ev);
+  HappensBefore hb(log, 2);
+  ConflictReport r;
+  Conflict c;
+  c.first.rank = 0;
+  c.first.t = 100;
+  c.second.rank = 1;
+  c.second.t = 200;
+  r.conflicts.push_back(c);
+  r.potential_pairs = 1;
+  const auto a = advise(r, &hb);
+  EXPECT_TRUE(a.race_free);
+}
+
+}  // namespace
+}  // namespace pfsem::core

@@ -1,0 +1,92 @@
+// Backend-invariance matrix: the analysis consumes only trace structure,
+// so the verdicts must not depend on which file system the run was traced
+// on — the paper traced on Lustre (strong semantics) and predicted
+// behaviour on weaker systems; we verify that tracing on any backend
+// (strong/commit/session Pfs, or the burst buffer) yields the same
+// conflict classes and pattern classification.
+
+#include <gtest/gtest.h>
+
+#include "pfsem/apps/registry.hpp"
+#include "pfsem/core/conflict.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/core/pattern.hpp"
+#include "pfsem/vfs/burst_buffer.hpp"
+
+namespace pfsem {
+namespace {
+
+struct Signature {
+  bool waw_s, waw_d, raw_s, raw_d;
+  bool c_waw_s, c_waw_d, c_raw_s, c_raw_d;
+  std::string xy;
+  std::string layout;
+
+  bool operator==(const Signature&) const = default;
+};
+
+apps::AppConfig small_cfg() {
+  apps::AppConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.bytes_per_rank = 64 * 1024;
+  return cfg;
+}
+
+Signature signature_of(const trace::TraceBundle& bundle, int nranks) {
+  const auto log = core::reconstruct_accesses(bundle);
+  const auto rep = core::detect_conflicts(log);
+  const auto pat = core::classify_high_level(log, nranks);
+  return {rep.session.waw_s, rep.session.waw_d, rep.session.raw_s,
+          rep.session.raw_d, rep.commit.waw_s,  rep.commit.waw_d,
+          rep.commit.raw_s,  rep.commit.raw_d,  pat.xy,
+          std::string(core::to_string(pat.layout))};
+}
+
+Signature run_on_pfs(const apps::AppInfo& info, vfs::ConsistencyModel m) {
+  vfs::PfsConfig pc;
+  pc.model = m;
+  const auto cfg = small_cfg();
+  apps::Harness h(cfg, pc);
+  info.run(h);
+  return signature_of(h.finish(), cfg.nranks);
+}
+
+Signature run_on_bb(const apps::AppInfo& info) {
+  const auto cfg = small_cfg();
+  vfs::BurstBufferConfig bc;
+  bc.ranks_per_node = cfg.ranks_per_node;
+  apps::Harness h(cfg, std::make_unique<vfs::BurstBufferPfs>(bc));
+  info.run(h);
+  return signature_of(h.finish(), cfg.nranks);
+}
+
+class BackendMatrix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BackendMatrix, VerdictIndependentOfTracingBackend) {
+  const auto* info = apps::find_app(GetParam());
+  ASSERT_NE(info, nullptr);
+  const auto strong = run_on_pfs(*info, vfs::ConsistencyModel::Strong);
+  EXPECT_EQ(run_on_pfs(*info, vfs::ConsistencyModel::Commit), strong)
+      << "commit-backend trace must yield the same verdict";
+  EXPECT_EQ(run_on_pfs(*info, vfs::ConsistencyModel::Session), strong)
+      << "session-backend trace must yield the same verdict";
+  EXPECT_EQ(run_on_bb(*info), strong)
+      << "burst-buffer trace must yield the same verdict";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BackendMatrix,
+    ::testing::Values("FLASH-fbs", "FLASH-nofbs", "ENZO", "NWChem",
+                      "LAMMPS-ADIOS", "LAMMPS-NetCDF", "MACSio", "GAMESS",
+                      "pF3D-IO", "VPIC-IO", "LBANN", "MILC-QCD Parallel"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pfsem

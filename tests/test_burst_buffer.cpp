@@ -1,0 +1,116 @@
+// Unit tests for the burst-buffer backend: commit-semantics visibility
+// (inherited from the inner Pfs), placement-aware read costs, publish
+// accounting, and lamination.
+
+#include <gtest/gtest.h>
+
+#include "pfsem/trace/record.hpp"
+#include "pfsem/vfs/burst_buffer.hpp"
+
+namespace pfsem::vfs {
+namespace {
+
+using trace::kCreate;
+using trace::kRdOnly;
+using trace::kRdWr;
+
+BurstBufferConfig small_nodes() {
+  BurstBufferConfig cfg;
+  cfg.ranks_per_node = 2;  // ranks {0,1} node 0, {2,3} node 1, ...
+  return cfg;
+}
+
+VersionTag tag_at(const std::vector<ReadExtent>& extents, Offset at) {
+  for (const auto& e : extents) {
+    if (e.ext.contains(at)) return e.version;
+  }
+  return 0;
+}
+
+TEST(BurstBuffer, WritesAreCommitSemantics) {
+  BurstBufferPfs bb(small_nodes());
+  const int w = bb.open(0, "ck", kCreate | kRdWr, 0).fd;
+  const int rd = bb.open(2, "ck", kRdWr, 0).fd;
+  const auto wr = bb.pwrite(0, w, 0, 4096, 10);
+  EXPECT_EQ(tag_at(bb.pread(2, rd, 0, 4096, 20).extents, 0), 0u)
+      << "uncommitted write must not be visible on another node";
+  bb.fsync(0, w, 30);
+  EXPECT_EQ(tag_at(bb.pread(2, rd, 0, 4096, 40).extents, 0), wr.version);
+}
+
+TEST(BurstBuffer, LocalWritesAreMuchCheaperThanPfs) {
+  BurstBufferPfs bb(small_nodes());
+  Pfs pfs;  // default Lustre-ish config
+  const int a = bb.open(0, "f", kCreate | kRdWr, 0).fd;
+  const int b = pfs.open(0, "f", kCreate | kRdWr, 0).fd;
+  const auto cb = bb.pwrite(0, a, 0, 1 << 20, 10).cost;
+  const auto cp = pfs.pwrite(0, b, 0, 1 << 20, 10).cost;
+  EXPECT_LT(cb, cp / 3) << "node-local NVMe should beat the shared PFS";
+  EXPECT_EQ(bb.stats().local_writes, 1u);
+  EXPECT_EQ(bb.stats().local_bytes, 1u << 20);
+}
+
+TEST(BurstBuffer, SameNodeReadIsLocalRemoteNodeIsNot) {
+  BurstBufferPfs bb(small_nodes());
+  const int w = bb.open(0, "f", kCreate | kRdWr, 0).fd;
+  (void)bb.pwrite(0, w, 0, 65536, 10);
+  bb.fsync(0, w, 20);
+
+  // Rank 1 shares node 0 with the writer: local read.
+  const int same = bb.open(1, "f", kRdWr, 30).fd;
+  const auto local = bb.pread(1, same, 0, 65536, 40);
+  EXPECT_EQ(bb.stats().local_reads, 1u);
+  EXPECT_EQ(bb.stats().remote_reads, 0u);
+
+  // Rank 2 is on node 1: remote fetch, strictly more expensive.
+  const int other = bb.open(2, "f", kRdWr, 50).fd;
+  const auto remote = bb.pread(2, other, 0, 65536, 60);
+  EXPECT_EQ(bb.stats().remote_reads, 1u);
+  EXPECT_EQ(bb.stats().remote_bytes, 65536u);
+  EXPECT_GT(remote.cost, local.cost);
+}
+
+TEST(BurstBuffer, PreloadedInputReadsAreLocal) {
+  BurstBufferPfs bb(small_nodes());
+  bb.preload("input.dat", 4096);
+  const int fd = bb.open(5, "input.dat", kRdOnly, 0).fd;
+  const auto res = bb.pread(5, fd, 0, 4096, 10);
+  EXPECT_NE(tag_at(res.extents, 0), 0u);
+  EXPECT_EQ(bb.stats().remote_reads, 0u)
+      << "staged inputs are replicated/local";
+}
+
+TEST(BurstBuffer, CommitOpsCountIndexPublishes) {
+  BurstBufferPfs bb(small_nodes());
+  const int w = bb.open(0, "f", kCreate | kRdWr, 0).fd;
+  (void)bb.pwrite(0, w, 0, 128, 10);
+  bb.fsync(0, w, 20);
+  bb.fsync(0, w, 30);
+  bb.close(0, w, 40);
+  EXPECT_EQ(bb.stats().index_publishes, 3u);
+}
+
+TEST(BurstBuffer, LaminatePublishesAndFreezes) {
+  BurstBufferPfs bb(small_nodes());
+  const int w = bb.open(0, "f", kCreate | kRdWr, 0).fd;
+  const auto wr = bb.pwrite(0, w, 0, 256, 10);
+  EXPECT_EQ(bb.laminate("f", 20).ret, 0);
+  const int rd = bb.open(3, "f", kRdOnly, 30).fd;
+  EXPECT_EQ(tag_at(bb.pread(3, rd, 0, 256, 40).extents, 0), wr.version);
+  EXPECT_EQ(bb.pwrite(0, w, 0, 256, 50).version, 0u) << "read-only after";
+}
+
+TEST(BurstBuffer, NamespaceOpsDelegate) {
+  BurstBufferPfs bb(small_nodes());
+  EXPECT_EQ(bb.mkdir("dir", 0).ret, 0);
+  const int fd = bb.open(0, "a", kCreate | kRdWr, 0).fd;
+  (void)bb.pwrite(0, fd, 0, 42, 5);
+  bb.close(0, fd, 10);
+  EXPECT_EQ(bb.stat("a", 20).ret, 42);
+  EXPECT_EQ(bb.rename("a", "b", 30).ret, 0);
+  EXPECT_EQ(bb.access("b", 40).ret, 0);
+  EXPECT_EQ(bb.unlink("b", 50).ret, 0);
+}
+
+}  // namespace
+}  // namespace pfsem::vfs

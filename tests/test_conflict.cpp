@@ -1,0 +1,256 @@
+// Unit tests for the conflict detector: the four potential-conflict
+// classes, the commit condition (3) and session condition (4) of
+// Section 5.2, and the reporting matrix.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pfsem/core/conflict.hpp"
+
+namespace pfsem::core {
+namespace {
+
+/// Builds a FileLog directly (bypassing offset reconstruction) so each
+/// test controls the expanded-record fields precisely.
+class FileBuilder {
+ public:
+  FileBuilder& access(SimTime t, Rank r, Offset begin, Offset end,
+                      AccessType type) {
+    Access a;
+    a.t = t;
+    a.rank = r;
+    a.ext = {begin, end};
+    a.type = type;
+    fl_.accesses.push_back(a);
+    touch(r);
+    return *this;
+  }
+  FileBuilder& open(Rank r, SimTime t) {
+    fl_.opens[r].push_back(t);
+    return *this;
+  }
+  FileBuilder& close(Rank r, SimTime t) {
+    fl_.closes[r].push_back(t);
+    fl_.commits[r].push_back(t);  // close is also a commit (footnote 2)
+    return *this;
+  }
+  FileBuilder& commit(Rank r, SimTime t) {  // fsync-style commit
+    fl_.commits[r].push_back(t);
+    return *this;
+  }
+
+  AccessLog build(int nranks = 4) {
+    // Annotate accesses like the offset tracker would.
+    for (auto& [r, v] : fl_.opens) std::sort(v.begin(), v.end());
+    for (auto& [r, v] : fl_.closes) std::sort(v.begin(), v.end());
+    for (auto& [r, v] : fl_.commits) std::sort(v.begin(), v.end());
+    std::sort(fl_.accesses.begin(), fl_.accesses.end(),
+              [](const Access& a, const Access& b) { return a.t < b.t; });
+    for (auto& a : fl_.accesses) {
+      auto last_before = [&](const std::map<Rank, std::vector<SimTime>>& m,
+                             SimTime fallback) {
+        auto it = m.find(a.rank);
+        if (it == m.end()) return fallback;
+        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
+        return ub == it->second.begin() ? fallback : *std::prev(ub);
+      };
+      auto first_after = [&](const std::map<Rank, std::vector<SimTime>>& m) {
+        auto it = m.find(a.rank);
+        if (it == m.end()) return kTimeNever;
+        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
+        return ub == it->second.end() ? kTimeNever : *ub;
+      };
+      a.t_open = last_before(fl_.opens, 0);
+      a.t_commit = first_after(fl_.commits);
+      a.t_close = first_after(fl_.closes);
+    }
+    AccessLog log;
+    log.nranks = nranks;
+    fl_.path = "f";
+    log.files["f"] = fl_;
+    return log;
+  }
+
+ private:
+  void touch(Rank r) {
+    if (!fl_.opens.contains(r)) fl_.opens[r].push_back(0);
+  }
+  FileLog fl_;
+};
+
+TEST(Conflict, WawDifferentProcessNoSync) {
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .access(200, 1, 25, 75, AccessType::Write)
+                 .build();
+  const auto rep = detect_conflicts(log);
+  EXPECT_TRUE(rep.session.waw_d);
+  EXPECT_TRUE(rep.commit.waw_d);
+  EXPECT_FALSE(rep.session.waw_s);
+  EXPECT_FALSE(rep.session.raw_s);
+  EXPECT_FALSE(rep.session.raw_d);
+  EXPECT_EQ(rep.potential_pairs, 1u);
+}
+
+TEST(Conflict, RawSameProcess) {
+  auto log = FileBuilder()
+                 .access(100, 2, 0, 50, AccessType::Write)
+                 .access(200, 2, 0, 10, AccessType::Read)
+                 .build();
+  const auto rep = detect_conflicts(log);
+  EXPECT_TRUE(rep.session.raw_s);
+  EXPECT_TRUE(rep.commit.raw_s);
+  EXPECT_TRUE(rep.session.same_process_only());
+}
+
+TEST(Conflict, WarNeverConflicts) {
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Read)
+                 .access(200, 1, 0, 50, AccessType::Write)
+                 .build();
+  const auto rep = detect_conflicts(log);
+  EXPECT_FALSE(rep.session.any());
+  EXPECT_FALSE(rep.commit.any());
+  EXPECT_EQ(rep.potential_pairs, 0u);
+}
+
+TEST(Conflict, NonOverlappingNeverConflicts) {
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .access(200, 1, 50, 100, AccessType::Write)
+                 .build();
+  EXPECT_FALSE(detect_conflicts(log).session.any());
+}
+
+TEST(Conflict, CommitBetweenClearsCommitSemanticsOnly) {
+  // Writer fsyncs between the two accesses: condition (3) satisfied, so
+  // commit semantics is clean, but session semantics (needs close->open)
+  // still conflicts. This is exactly the FLASH situation.
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .commit(0, 150)
+                 .access(200, 1, 0, 50, AccessType::Write)
+                 .build();
+  const auto rep = detect_conflicts(log);
+  EXPECT_FALSE(rep.commit.any());
+  EXPECT_TRUE(rep.session.waw_d);
+}
+
+TEST(Conflict, CommitAfterSecondAccessDoesNotHelp) {
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .access(200, 1, 0, 50, AccessType::Write)
+                 .commit(0, 300)
+                 .build();
+  EXPECT_TRUE(detect_conflicts(log).commit.waw_d);
+}
+
+TEST(Conflict, CommitByWrongProcessDoesNotHelp) {
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .commit(1, 150)  // the *reader's* commit is irrelevant
+                 .access(200, 1, 0, 50, AccessType::Read)
+                 .build();
+  EXPECT_TRUE(detect_conflicts(log).commit.raw_d);
+}
+
+TEST(Conflict, CloseThenOpenClearsSessionSemantics) {
+  // Writer closes at 150, reader (re)opens at 170: condition (4) is
+  // satisfied — t1 < tclose1 < topen2 < t2.
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .close(0, 150)
+                 .open(1, 170)
+                 .access(200, 1, 0, 50, AccessType::Read)
+                 .build();
+  const auto rep = detect_conflicts(log);
+  EXPECT_FALSE(rep.session.any());
+  EXPECT_FALSE(rep.commit.any()) << "close is also a commit";
+}
+
+TEST(Conflict, CloseWithoutReopenStillSessionConflict) {
+  // Reader's session began before the writer's close.
+  auto log = FileBuilder()
+                 .open(1, 50)
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .close(0, 150)
+                 .access(200, 1, 0, 50, AccessType::Read)
+                 .build();
+  const auto rep = detect_conflicts(log);
+  EXPECT_TRUE(rep.session.raw_d);
+  EXPECT_FALSE(rep.commit.any());
+}
+
+TEST(Conflict, ReopenBeforeCloseDoesNotClearSession) {
+  // Reader reopened, but before the writer closed: stale session.
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .open(1, 120)
+                 .close(0, 150)
+                 .access(200, 1, 0, 50, AccessType::Read)
+                 .build();
+  EXPECT_TRUE(detect_conflicts(log).session.raw_d);
+}
+
+TEST(Conflict, SameProcessCloseReopenClearsSession) {
+  // QMCPACK-style: one rank rewrites a region across checkpoint files it
+  // closes and reopens — no session conflict.
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 50, AccessType::Write)
+                 .close(0, 150)
+                 .open(0, 170)
+                 .access(200, 0, 0, 50, AccessType::Write)
+                 .build();
+  EXPECT_FALSE(detect_conflicts(log).session.any());
+}
+
+TEST(Conflict, MultipleFilesIndependent) {
+  FileBuilder fb;
+  fb.access(100, 0, 0, 50, AccessType::Write)
+      .access(200, 1, 0, 50, AccessType::Write);
+  auto log = fb.build();
+  // Add a second, clean file.
+  FileLog clean;
+  clean.path = "g";
+  Access a;
+  a.t = 10;
+  a.rank = 0;
+  a.ext = {0, 100};
+  a.type = AccessType::Write;
+  clean.accesses.push_back(a);
+  log.files["g"] = clean;
+  const auto rep = detect_conflicts(log);
+  EXPECT_EQ(rep.potential_pairs, 1u);
+  ASSERT_EQ(rep.conflicts.size(), 1u);
+  EXPECT_EQ(rep.conflicts[0].path, "f");
+}
+
+TEST(Conflict, ExampleCapKeepsCountsExact) {
+  FileBuilder fb;
+  // 20 overlapping writes by alternating ranks, no syncs.
+  for (int i = 0; i < 20; ++i) {
+    fb.access(100 + i * 10, i % 2, 0, 10, AccessType::Write);
+  }
+  auto log = fb.build();
+  const auto rep = detect_conflicts(log, {.max_examples_per_file = 5});
+  EXPECT_EQ(rep.conflicts.size(), 5u);
+  EXPECT_EQ(rep.potential_pairs, 190u);  // C(20,2)
+  EXPECT_EQ(rep.session.count, 190u);
+}
+
+TEST(Conflict, MatrixClassification) {
+  auto log = FileBuilder()
+                 .access(100, 0, 0, 10, AccessType::Write)   // vs all below
+                 .access(200, 0, 0, 10, AccessType::Write)   // WAW-S
+                 .access(300, 1, 0, 10, AccessType::Read)    // RAW-D
+                 .build();
+  const auto rep = detect_conflicts(log);
+  EXPECT_TRUE(rep.session.waw_s);
+  EXPECT_TRUE(rep.session.raw_d);
+  EXPECT_FALSE(rep.session.same_process_only());
+  EXPECT_TRUE(rep.session.any());
+}
+
+}  // namespace
+}  // namespace pfsem::core

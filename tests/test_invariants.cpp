@@ -1,0 +1,181 @@
+// Invariance properties of the analysis: conclusions must depend only on
+// the *relative* structure of a trace. Shifting all timestamps, shifting
+// all offsets, scaling access sizes, or consistently relabelling ranks
+// must never change conflict classes or pattern classification.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pfsem/apps/registry.hpp"
+#include "pfsem/core/conflict.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/core/pattern.hpp"
+
+namespace pfsem::core {
+namespace {
+
+struct Verdict {
+  bool s_waw_s, s_waw_d, s_raw_s, s_raw_d;
+  bool c_waw_s, c_waw_d, c_raw_s, c_raw_d;
+  std::uint64_t pairs;
+  std::string xy;
+  FileLayout layout;
+  bool operator==(const Verdict&) const = default;
+};
+
+Verdict verdict_of(const AccessLog& log) {
+  const auto rep = detect_conflicts(log);
+  const auto pat = classify_high_level(log, log.nranks);
+  return {rep.session.waw_s, rep.session.waw_d, rep.session.raw_s,
+          rep.session.raw_d, rep.commit.waw_s,  rep.commit.waw_d,
+          rep.commit.raw_s,  rep.commit.raw_d,  rep.potential_pairs,
+          pat.xy,            pat.layout};
+}
+
+AccessLog sample_log(std::uint64_t seed) {
+  apps::AppConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.bytes_per_rank = 64 * 1024;
+  cfg.seed = seed;
+  // A conflicting config exercises every analysis branch.
+  return reconstruct_accesses(
+      apps::run_app(*apps::find_app("FLASH-fbs"), cfg));
+}
+
+AccessLog transform(const AccessLog& in,
+                    const std::function<void(Access&)>& fn,
+                    const std::function<SimTime(SimTime)>& tmap) {
+  AccessLog out;
+  out.nranks = in.nranks;
+  for (const auto& [path, fl] : in.files) {
+    FileLog nf;
+    nf.path = fl.path;
+    for (Access a : fl.accesses) {
+      a.t = tmap(a.t);
+      a.t_open = tmap(a.t_open);
+      if (a.t_commit != kTimeNever) a.t_commit = tmap(a.t_commit);
+      if (a.t_close != kTimeNever) a.t_close = tmap(a.t_close);
+      fn(a);
+      nf.accesses.push_back(a);
+    }
+    auto map_table = [&](const std::map<Rank, std::vector<SimTime>>& m) {
+      std::map<Rank, std::vector<SimTime>> r;
+      for (const auto& [rank, v] : m) {
+        for (SimTime t : v) r[rank].push_back(tmap(t));
+        std::sort(r[rank].begin(), r[rank].end());
+      }
+      return r;
+    };
+    nf.opens = map_table(fl.opens);
+    nf.closes = map_table(fl.closes);
+    nf.commits = map_table(fl.commits);
+    out.files[path] = std::move(nf);
+  }
+  return out;
+}
+
+TEST(Invariance, TimeTranslation) {
+  const auto log = sample_log(11);
+  const auto base = verdict_of(log);
+  const auto shifted = transform(
+      log, [](Access&) {}, [](SimTime t) { return t + 1'000'000'000; });
+  EXPECT_EQ(verdict_of(shifted), base);
+}
+
+TEST(Invariance, TimeDilation) {
+  // Uniformly stretching time preserves every ordering-based conclusion.
+  const auto log = sample_log(12);
+  const auto base = verdict_of(log);
+  const auto dilated = transform(
+      log, [](Access&) {}, [](SimTime t) { return t * 3; });
+  EXPECT_EQ(verdict_of(dilated), base);
+}
+
+TEST(Invariance, OffsetTranslation) {
+  const auto log = sample_log(13);
+  const auto base = verdict_of(log);
+  const auto moved = transform(
+      log,
+      [](Access& a) {
+        a.ext.begin += 1 << 20;
+        a.ext.end += 1 << 20;
+      },
+      [](SimTime t) { return t; });
+  EXPECT_EQ(verdict_of(moved), base);
+}
+
+TEST(Invariance, OffsetScaling) {
+  // Doubling every offset and length preserves overlap structure and
+  // layout classes (all thresholds are below the data sizes involved).
+  const auto log = sample_log(14);
+  const auto base = verdict_of(log);
+  const auto scaled = transform(
+      log,
+      [](Access& a) {
+        a.ext.begin *= 2;
+        a.ext.end *= 2;
+      },
+      [](SimTime t) { return t; });
+  const auto v = verdict_of(scaled);
+  EXPECT_EQ(v.pairs, base.pairs);
+  EXPECT_EQ(v.s_waw_d, base.s_waw_d);
+  EXPECT_EQ(v.xy, base.xy);
+  EXPECT_EQ(v.layout, base.layout);
+}
+
+TEST(Invariance, RankRelabelling) {
+  // Applying a permutation to every rank id preserves the S/D split and
+  // the X-Y class (a rank reversal keeps affine rounds affine).
+  const auto log = sample_log(15);
+  const auto base = verdict_of(log);
+  const int n = log.nranks;
+  auto permute = [n](Rank r) { return static_cast<Rank>(n - 1 - r); };
+  AccessLog relabelled;
+  relabelled.nranks = n;
+  for (const auto& [path, fl] : log.files) {
+    FileLog nf;
+    nf.path = fl.path;
+    for (Access a : fl.accesses) {
+      a.rank = permute(a.rank);
+      nf.accesses.push_back(a);
+    }
+    auto map_table = [&](const std::map<Rank, std::vector<SimTime>>& m) {
+      std::map<Rank, std::vector<SimTime>> r;
+      for (const auto& [rank, v] : m) r[permute(rank)] = v;
+      return r;
+    };
+    nf.opens = map_table(fl.opens);
+    nf.closes = map_table(fl.closes);
+    nf.commits = map_table(fl.commits);
+    relabelled.files[path] = std::move(nf);
+  }
+  const auto v = verdict_of(relabelled);
+  EXPECT_EQ(v.s_waw_s, base.s_waw_s);
+  EXPECT_EQ(v.s_waw_d, base.s_waw_d);
+  EXPECT_EQ(v.s_raw_s, base.s_raw_s);
+  EXPECT_EQ(v.s_raw_d, base.s_raw_d);
+  EXPECT_EQ(v.pairs, base.pairs);
+  EXPECT_EQ(v.xy, base.xy);
+}
+
+TEST(Invariance, SeedChangesJitterNotConclusions) {
+  // Different seeds change timing jitter and irregular block sizes but
+  // never the semantic conclusions (the scale-invariance argument of
+  // Section 6.1 applied to the seed dimension).
+  const auto a = verdict_of(sample_log(100));
+  for (std::uint64_t seed : {101, 102, 103}) {
+    const auto b = verdict_of(sample_log(seed));
+    EXPECT_EQ(b.s_waw_s, a.s_waw_s) << seed;
+    EXPECT_EQ(b.s_waw_d, a.s_waw_d) << seed;
+    EXPECT_EQ(b.s_raw_s, a.s_raw_s) << seed;
+    EXPECT_EQ(b.s_raw_d, a.s_raw_d) << seed;
+    EXPECT_EQ(b.c_waw_d, a.c_waw_d) << seed;
+    EXPECT_EQ(b.xy, a.xy) << seed;
+    EXPECT_EQ(b.layout, a.layout) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pfsem::core

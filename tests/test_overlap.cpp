@@ -1,0 +1,130 @@
+// Unit + property tests for Algorithm 1 (overlap detection), including the
+// random-interval equivalence sweep against the naive O(n^2) oracle.
+
+#include <gtest/gtest.h>
+
+#include "pfsem/core/overlap.hpp"
+#include "pfsem/util/rng.hpp"
+
+namespace pfsem::core {
+namespace {
+
+Access acc(Rank r, Offset begin, Offset end,
+           AccessType type = AccessType::Write, SimTime t = 0) {
+  Access a;
+  a.rank = r;
+  a.ext = {begin, end};
+  a.type = type;
+  a.t = t;
+  return a;
+}
+
+TEST(Overlap, EmptyInput) {
+  EXPECT_TRUE(detect_overlaps({}).empty());
+}
+
+TEST(Overlap, DisjointIntervalsNoPairs) {
+  std::vector<Access> v{acc(0, 0, 10), acc(1, 10, 20), acc(2, 20, 30)};
+  EXPECT_TRUE(detect_overlaps(v).empty()) << "touching != overlapping";
+}
+
+TEST(Overlap, SimplePair) {
+  std::vector<Access> v{acc(0, 0, 10), acc(1, 5, 15)};
+  const auto pairs = detect_overlaps(v);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0u);
+  EXPECT_EQ(pairs[0].second, 1u);
+}
+
+TEST(Overlap, LongIntervalCoversManyLaterStarts) {
+  // Regression guard for the sorted-sweep break condition: one long
+  // interval overlapping many short ones that start after it.
+  std::vector<Access> v{acc(0, 0, 1000)};
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(acc(1, static_cast<Offset>(i) * 50 + 10,
+                    static_cast<Offset>(i) * 50 + 20));
+  }
+  EXPECT_EQ(detect_overlaps(v).size(), 10u);
+}
+
+TEST(Overlap, WritesOnlyFilterDropsReadReadPairs) {
+  std::vector<Access> v{acc(0, 0, 10, AccessType::Read),
+                        acc(1, 5, 15, AccessType::Read),
+                        acc(2, 8, 12, AccessType::Write)};
+  const auto all = detect_overlaps(v, {.writes_only = false});
+  const auto filtered = detect_overlaps(v, {.writes_only = true});
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(filtered.size(), 2u) << "read-read pair must be dropped";
+}
+
+TEST(Overlap, IdenticalIntervalsAllPair) {
+  std::vector<Access> v(5, acc(0, 100, 200));
+  EXPECT_EQ(detect_overlaps(v).size(), 10u);  // C(5,2)
+}
+
+TEST(Overlap, EmptyExtentNeverPairs) {
+  std::vector<Access> v{acc(0, 10, 10), acc(1, 0, 100)};
+  EXPECT_TRUE(detect_overlaps(v).empty());
+}
+
+TEST(Overlap, RankTableSymmetric) {
+  std::vector<Access> v{acc(0, 0, 10), acc(2, 5, 15), acc(1, 100, 110)};
+  const auto table = overlap_rank_table(v, 3);
+  EXPECT_TRUE(table[0][2]);
+  EXPECT_TRUE(table[2][0]);
+  EXPECT_FALSE(table[0][1]);
+  EXPECT_FALSE(table[1][2]);
+  EXPECT_FALSE(table[0][0]);
+}
+
+struct SweepParams {
+  int n;
+  Offset universe;
+  Offset max_len;
+};
+
+class OverlapSweep : public ::testing::TestWithParam<SweepParams> {};
+
+// Property: Algorithm 1 finds exactly the same pairs as the naive oracle,
+// across interval densities from sparse to heavily overlapping.
+TEST_P(OverlapSweep, MatchesNaiveOracle) {
+  const auto p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 977);
+    std::vector<Access> v;
+    v.reserve(static_cast<std::size_t>(p.n));
+    for (int i = 0; i < p.n; ++i) {
+      const Offset begin = rng.below(p.universe);
+      const Offset len = rng.below(p.max_len + 1);
+      v.push_back(acc(static_cast<Rank>(rng.below(8)), begin, begin + len,
+                      rng.chance(0.5) ? AccessType::Write : AccessType::Read,
+                      static_cast<SimTime>(i)));
+    }
+    for (bool writes_only : {false, true}) {
+      const auto fast = detect_overlaps(v, {.writes_only = writes_only});
+      const auto slow = detect_overlaps_naive(v, {.writes_only = writes_only});
+      ASSERT_EQ(fast.size(), slow.size())
+          << "seed " << seed << " writes_only " << writes_only;
+      for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(fast[i].first, slow[i].first);
+        EXPECT_EQ(fast[i].second, slow[i].second);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, OverlapSweep,
+    ::testing::Values(SweepParams{50, 10'000, 100},    // sparse
+                      SweepParams{100, 1'000, 200},    // moderate
+                      SweepParams{150, 200, 100},      // dense
+                      SweepParams{80, 50, 60},         // nearly all overlap
+                      SweepParams{100, 100'000, 0}),   // zero-length only
+    [](const ::testing::TestParamInfo<SweepParams>& p) {
+      return "n" + std::to_string(p.param.n) + "_u" +
+             std::to_string(p.param.universe) + "_l" +
+             std::to_string(p.param.max_len);
+    });
+
+}  // namespace
+}  // namespace pfsem::core

@@ -1,0 +1,309 @@
+// Unit tests for the pattern classifiers: Figure-1 transition mixes and
+// Table-3 high-level / layout classification.
+
+#include <gtest/gtest.h>
+
+#include "pfsem/core/pattern.hpp"
+
+namespace pfsem::core {
+namespace {
+
+Access acc(SimTime t, Rank r, Offset begin, Offset len,
+           AccessType type = AccessType::Write) {
+  Access a;
+  a.t = t;
+  a.rank = r;
+  a.ext = {begin, begin + len};
+  a.type = type;
+  return a;
+}
+
+AccessLog make_log(std::vector<Access> accesses, int nranks) {
+  std::sort(accesses.begin(), accesses.end(),
+            [](const Access& a, const Access& b) { return a.t < b.t; });
+  AccessLog log;
+  log.nranks = nranks;
+  FileLog fl;
+  fl.path = "f";
+  fl.accesses = std::move(accesses);
+  log.files["f"] = std::move(fl);
+  return log;
+}
+
+// --- transition mixes (Figure 1) ------------------------------------------
+
+TEST(Transitions, LocalAllConsecutive) {
+  auto log = make_log({acc(0, 0, 0, 100), acc(10, 0, 100, 100),
+                       acc(20, 0, 200, 100)},
+                      1);
+  const auto mix = local_pattern(log);
+  EXPECT_EQ(mix.consecutive, 2u);
+  EXPECT_EQ(mix.monotonic, 0u);
+  EXPECT_EQ(mix.random, 0u);
+  EXPECT_DOUBLE_EQ(mix.frac_consecutive(), 1.0);
+}
+
+TEST(Transitions, MonotonicGapsCounted) {
+  auto log = make_log({acc(0, 0, 0, 10), acc(10, 0, 50, 10),
+                       acc(20, 0, 100, 10)},
+                      1);
+  const auto mix = local_pattern(log);
+  EXPECT_EQ(mix.monotonic, 2u);
+}
+
+TEST(Transitions, BackwardJumpIsRandom) {
+  auto log = make_log({acc(0, 0, 100, 10), acc(10, 0, 0, 10)}, 1);
+  EXPECT_EQ(local_pattern(log).random, 1u);
+}
+
+TEST(Transitions, GlobalInterleavingLooksRandomLocalDoesNot) {
+  // Two ranks each reading their half consecutively, interleaved in time:
+  // locally consecutive, globally ping-ponging (the LBANN effect).
+  std::vector<Access> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(acc(i * 20, 0, static_cast<Offset>(i) * 100, 100,
+                    AccessType::Read));
+    v.push_back(acc(i * 20 + 10, 1, 5000 + static_cast<Offset>(i) * 100, 100,
+                    AccessType::Read));
+  }
+  auto log = make_log(std::move(v), 2);
+  const auto local = local_pattern(log);
+  const auto global = global_pattern(log);
+  EXPECT_DOUBLE_EQ(local.frac_consecutive(), 1.0);
+  EXPECT_GT(global.frac_random(), 0.4);
+}
+
+TEST(Transitions, MixAccumulates) {
+  TransitionMix a{.consecutive = 1, .monotonic = 2, .random = 3};
+  TransitionMix b{.consecutive = 10, .monotonic = 20, .random = 30};
+  a += b;
+  EXPECT_EQ(a.total(), 66u);
+  EXPECT_EQ(a.consecutive, 11u);
+}
+
+TEST(Transitions, EmptyMixSafeFractions) {
+  TransitionMix m;
+  EXPECT_DOUBLE_EQ(m.frac_consecutive(), 0.0);
+  EXPECT_DOUBLE_EQ(m.frac_random(), 0.0);
+}
+
+// --- file layout (Table 3) -------------------------------------------------
+
+TEST(Layout, SingleWriterConsecutive) {
+  auto log = make_log({acc(0, 0, 0, 8192), acc(10, 0, 8192, 8192)}, 4);
+  EXPECT_EQ(classify_file_layout(log.files.at("f")), FileLayout::Consecutive);
+}
+
+TEST(Layout, SmallGapsToleratedAsConsecutive) {
+  // 512-byte object-header gaps between 8K writes (the ENZO shape).
+  auto log = make_log({acc(0, 0, 0, 8192), acc(10, 0, 8704, 8192),
+                       acc(20, 0, 17408, 8192)},
+                      1);
+  EXPECT_EQ(classify_file_layout(log.files.at("f")), FileLayout::Consecutive);
+}
+
+TEST(Layout, IdenticalFullReadsConsecutive) {
+  // Every rank reads the whole file (LBANN/VASP).
+  std::vector<Access> v;
+  for (Rank r = 0; r < 4; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      v.push_back(acc(r * 5 + i * 40, r, static_cast<Offset>(i) * 8192, 8192,
+                      AccessType::Read));
+    }
+  }
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 4).files.at("f")),
+            FileLayout::Consecutive);
+}
+
+TEST(Layout, RankSegmentsAreStrided) {
+  // One tiled segment per rank (MILC-parallel shape).
+  std::vector<Access> v;
+  for (Rank r = 0; r < 8; ++r) {
+    v.push_back(acc(r * 10, r, static_cast<Offset>(r) * 65536, 65536));
+  }
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 8).files.at("f")),
+            FileLayout::Strided);
+}
+
+TEST(Layout, RepeatedAffineRoundsAreStridedCyclic) {
+  // Collective rounds: each round the ranks tile one region (FLASH-fbs).
+  std::vector<Access> v;
+  SimTime t = 0;
+  for (int round = 0; round < 4; ++round) {
+    const Offset base = static_cast<Offset>(round) * 1'000'000;
+    for (Rank r = 0; r < 6; ++r) {
+      v.push_back(acc(t += 10, r, base + static_cast<Offset>(r) * 65536, 65536));
+    }
+  }
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 6).files.at("f")),
+            FileLayout::StridedCyclic);
+}
+
+TEST(Layout, MonotonicIrregularIsStrided) {
+  // Irregular forward-only per-rank progress (FLASH-nofbs shape).
+  std::vector<Access> v;
+  SimTime t = 0;
+  Offset off = 0;
+  for (int i = 0; i < 12; ++i) {
+    const Rank r = i % 3;
+    const Offset len = 4096 + static_cast<Offset>((i * 37) % 5000);
+    v.push_back(acc(t += 10, r, off, len));
+    off += len + 10'000;
+  }
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 3).files.at("f")),
+            FileLayout::Strided);
+}
+
+TEST(Layout, InterleavedOverwritesAreRandom) {
+  std::vector<Access> v;
+  SimTime t = 0;
+  const Offset offs[] = {0, 90000, 4096, 70000, 8192, 10000};
+  for (int i = 0; i < 6; ++i) {
+    v.push_back(acc(t += 10, i % 2, offs[i], 8192));
+  }
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 2).files.at("f")),
+            FileLayout::Random);
+}
+
+TEST(Layout, MetadataFilteredOut) {
+  // Big consecutive data writes plus tiny header rewrites at offset 0:
+  // the headers must not drag the classification to random.
+  std::vector<Access> v;
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(acc(t += 10, 0, 8192 + static_cast<Offset>(i) * 65536, 65536));
+    v.push_back(acc(t += 10, 0, 0, 8));
+  }
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 1).files.at("f")),
+            FileLayout::Consecutive);
+}
+
+TEST(Layout, DominantTypeWinsOverReadback) {
+  // A write-streamed file with one trailer read-back (pF3D) stays
+  // consecutive.
+  auto log = make_log({acc(0, 0, 0, 65536), acc(10, 0, 65536, 65536),
+                       acc(20, 0, 126976, 4096, AccessType::Read)},
+                      1);
+  EXPECT_EQ(classify_file_layout(log.files.at("f")), FileLayout::Consecutive);
+}
+
+// --- high-level X-Y classification -----------------------------------------
+
+AccessLog multi_file_log(
+    const std::vector<std::pair<std::string, std::vector<Access>>>& files,
+    int nranks) {
+  AccessLog log;
+  log.nranks = nranks;
+  for (auto [path, accesses] : files) {
+    std::sort(accesses.begin(), accesses.end(),
+              [](const Access& a, const Access& b) { return a.t < b.t; });
+    FileLog fl;
+    fl.path = path;
+    fl.accesses = std::move(accesses);
+    log.files[path] = std::move(fl);
+  }
+  return log;
+}
+
+TEST(HighLevel, FilePerProcessIsNN) {
+  std::vector<std::pair<std::string, std::vector<Access>>> files;
+  for (Rank r = 0; r < 4; ++r) {
+    files.push_back({"out." + std::to_string(r),
+                     {acc(r * 10, r, 0, 65536), acc(r * 10 + 5, r, 65536, 65536)}});
+  }
+  const auto hl = classify_high_level(multi_file_log(files, 4), 4);
+  EXPECT_EQ(hl.xy, "N-N");
+  EXPECT_EQ(hl.layout, FileLayout::Consecutive);
+  EXPECT_EQ(hl.io_ranks, 4);
+}
+
+TEST(HighLevel, SharedFileAllRanksIsN1) {
+  std::vector<Access> v;
+  for (Rank r = 0; r < 4; ++r) {
+    v.push_back(acc(r * 10, r, static_cast<Offset>(r) * 100000, 65536));
+  }
+  const auto hl = classify_high_level(make_log(std::move(v), 4), 4);
+  EXPECT_EQ(hl.xy, "N-1");
+  EXPECT_EQ(hl.layout, FileLayout::Strided);
+}
+
+TEST(HighLevel, SubsetWritersSharedFileIsM1) {
+  std::vector<Access> v;
+  for (Rank r = 0; r < 3; ++r) {  // 3 of 8 ranks
+    v.push_back(acc(r * 10, r * 2, static_cast<Offset>(r) * 100000, 65536));
+  }
+  EXPECT_EQ(classify_high_level(make_log(std::move(v), 8), 8).xy, "M-1");
+}
+
+TEST(HighLevel, SingleRankIs11) {
+  auto log = make_log({acc(0, 3, 0, 65536), acc(10, 3, 65536, 65536)}, 8);
+  EXPECT_EQ(classify_high_level(log, 8).xy, "1-1");
+}
+
+TEST(HighLevel, GroupFilesAreNM) {
+  // 8 ranks, 2 group files of 4 writers each.
+  std::vector<std::pair<std::string, std::vector<Access>>> files(2);
+  for (int g = 0; g < 2; ++g) {
+    files[static_cast<std::size_t>(g)].first = "group." + std::to_string(g);
+    for (int i = 0; i < 4; ++i) {
+      const Rank r = g * 4 + i;
+      files[static_cast<std::size_t>(g)].second.push_back(
+          acc(r * 10, r, static_cast<Offset>(i) * 100000, 65536));
+    }
+  }
+  EXPECT_EQ(classify_high_level(multi_file_log(files, 8), 8).xy, "N-M");
+}
+
+TEST(HighLevel, SubsetFilePerWriterIsMM) {
+  std::vector<std::pair<std::string, std::vector<Access>>> files;
+  for (int w = 0; w < 3; ++w) {  // 3 of 16 ranks, one file each
+    files.push_back({"dict." + std::to_string(w * 5),
+                     {acc(w * 10, w * 5, 0, 65536)}});
+  }
+  EXPECT_EQ(classify_high_level(multi_file_log(files, 16), 16).xy, "M-M");
+}
+
+TEST(HighLevel, DominantFamilyWinsByBytes) {
+  // Big N-1 read family + tiny 1-1 write family: the read family decides.
+  std::vector<std::pair<std::string, std::vector<Access>>> files(2);
+  files[0].first = "dataset.bin";
+  for (Rank r = 0; r < 4; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      files[0].second.push_back(acc(r * 100 + i, r,
+                                    static_cast<Offset>(i) * 65536, 65536,
+                                    AccessType::Read));
+    }
+  }
+  files[1].first = "log.txt";
+  files[1].second.push_back(acc(5000, 0, 0, 8192));
+  const auto hl = classify_high_level(multi_file_log(files, 4), 4);
+  EXPECT_EQ(hl.xy, "N-1");
+  EXPECT_EQ(hl.layout, FileLayout::Consecutive);
+  EXPECT_EQ(hl.dominant_file, "dataset.bin");
+}
+
+TEST(HighLevel, NumberedFilesGroupIntoOneFamily) {
+  // Per-checkpoint numbered files must land in one family so the family
+  // file count reflects the series.
+  std::vector<std::pair<std::string, std::vector<Access>>> files;
+  for (int c = 0; c < 3; ++c) {
+    std::vector<Access> v;
+    for (Rank r = 0; r < 4; ++r) {
+      v.push_back(acc(c * 1000 + r * 10, r, static_cast<Offset>(r) * 100000,
+                      65536));
+    }
+    files.push_back({"chk_" + std::to_string(c), std::move(v)});
+  }
+  const auto hl = classify_high_level(multi_file_log(files, 4), 4);
+  EXPECT_EQ(hl.xy, "N-1");
+  EXPECT_EQ(hl.family_files, 3);
+}
+
+TEST(HighLevel, EmptyLogSafe) {
+  AccessLog log;
+  log.nranks = 4;
+  EXPECT_EQ(classify_high_level(log, 4).xy, "0-0");
+}
+
+}  // namespace
+}  // namespace pfsem::core

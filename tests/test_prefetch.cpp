@@ -1,0 +1,133 @@
+// Unit tests for the cache-benefit estimator (read-ahead + write
+// aggregation replay).
+
+#include <gtest/gtest.h>
+
+#include "pfsem/core/prefetch.hpp"
+
+namespace pfsem::core {
+namespace {
+
+Access acc(SimTime t, Rank r, Offset begin, Offset len, AccessType type) {
+  Access a;
+  a.t = t;
+  a.rank = r;
+  a.ext = {begin, begin + len};
+  a.type = type;
+  return a;
+}
+
+AccessLog make_log(std::vector<Access> v) {
+  std::sort(v.begin(), v.end(),
+            [](const Access& a, const Access& b) { return a.t < b.t; });
+  AccessLog log;
+  log.nranks = 8;
+  FileLog fl;
+  fl.path = "f";
+  fl.accesses = std::move(v);
+  log.files["f"] = std::move(fl);
+  return log;
+}
+
+TEST(ReadAhead, SequentialReadsHitAfterFirstMiss) {
+  std::vector<Access> v;
+  for (int i = 0; i < 16; ++i) {
+    v.push_back(acc(i * 10, 0, static_cast<Offset>(i) * 65536, 65536,
+                    AccessType::Read));
+  }
+  const auto cb = estimate_cache_benefit(make_log(std::move(v)));
+  EXPECT_EQ(cb.client_reads, 16u);
+  EXPECT_EQ(cb.client_hits, 15u) << "only the first read misses";
+  EXPECT_EQ(cb.server_reads, 16u);
+  EXPECT_EQ(cb.server_hits, 15u) << "one reader: server sees the same stream";
+}
+
+TEST(ReadAhead, RandomReadsMiss) {
+  std::vector<Access> v;
+  const Offset offs[] = {0, 900'000'000, 5'000'000, 700'000'000, 80'000'000};
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(acc(i * 10, 0, offs[i], 4096, AccessType::Read));
+  }
+  const auto cb = estimate_cache_benefit(make_log(std::move(v)));
+  EXPECT_EQ(cb.client_hits, 0u);
+}
+
+TEST(ReadAhead, ClientHitsServerMissesWhenRanksInterleave) {
+  // Two ranks streaming distant regions, interleaved in time: each rank's
+  // own stream is sequential (client cache hits) but a single server-side
+  // window thrashes — the LBANN effect.
+  std::vector<Access> v;
+  for (int i = 0; i < 16; ++i) {
+    v.push_back(acc(i * 20, 0, static_cast<Offset>(i) * 65536, 65536,
+                    AccessType::Read));
+    v.push_back(acc(i * 20 + 10, 1,
+                    500'000'000 + static_cast<Offset>(i) * 65536, 65536,
+                    AccessType::Read));
+  }
+  const auto cb = estimate_cache_benefit(make_log(std::move(v)));
+  EXPECT_GT(cb.client_hit_rate(), 0.9);
+  EXPECT_EQ(cb.server_hits, 0u);
+}
+
+TEST(Aggregation, ConsecutiveWritesMerge) {
+  std::vector<Access> v;
+  for (int i = 0; i < 32; ++i) {
+    v.push_back(acc(i * 10, 0, static_cast<Offset>(i) * 4096, 4096,
+                    AccessType::Write));
+  }
+  const auto cb = estimate_cache_benefit(make_log(std::move(v)));
+  EXPECT_EQ(cb.writes, 32u);
+  EXPECT_EQ(cb.write_flushes, 1u) << "one contiguous run = one PFS request";
+  EXPECT_DOUBLE_EQ(cb.aggregation_factor(), 32.0);
+}
+
+TEST(Aggregation, BufferCapacityForcesFlush) {
+  CacheModelOptions opts;
+  opts.aggregation_buffer = 8192;  // two 4K writes per flush
+  std::vector<Access> v;
+  for (int i = 0; i < 8; ++i) {
+    v.push_back(acc(i * 10, 0, static_cast<Offset>(i) * 4096, 4096,
+                    AccessType::Write));
+  }
+  const auto cb = estimate_cache_benefit(make_log(std::move(v)), opts);
+  EXPECT_EQ(cb.write_flushes, 4u);
+  EXPECT_DOUBLE_EQ(cb.aggregation_factor(), 2.0);
+}
+
+TEST(Aggregation, NonContiguousWritesDoNotMerge) {
+  std::vector<Access> v;
+  for (int i = 0; i < 8; ++i) {
+    v.push_back(acc(i * 10, 0, static_cast<Offset>(i) * 1'000'000, 4096,
+                    AccessType::Write));
+  }
+  const auto cb = estimate_cache_benefit(make_log(std::move(v)));
+  EXPECT_EQ(cb.write_flushes, 8u);
+  EXPECT_DOUBLE_EQ(cb.aggregation_factor(), 1.0);
+}
+
+TEST(Aggregation, PerRankBuffersAreIndependent) {
+  // Two ranks interleaved in time, each contiguous on its own: client-side
+  // buffers aggregate per rank.
+  std::vector<Access> v;
+  for (int i = 0; i < 8; ++i) {
+    v.push_back(acc(i * 20, 0, static_cast<Offset>(i) * 4096, 4096,
+                    AccessType::Write));
+    v.push_back(acc(i * 20 + 10, 1, 1'000'000 + static_cast<Offset>(i) * 4096,
+                    4096, AccessType::Write));
+  }
+  const auto cb = estimate_cache_benefit(make_log(std::move(v)));
+  EXPECT_EQ(cb.writes, 16u);
+  EXPECT_EQ(cb.write_flushes, 2u);
+}
+
+TEST(CacheBenefit, EmptyLogSafe) {
+  AccessLog log;
+  log.nranks = 4;
+  const auto cb = estimate_cache_benefit(log);
+  EXPECT_EQ(cb.client_reads, 0u);
+  EXPECT_DOUBLE_EQ(cb.client_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(cb.aggregation_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace pfsem::core

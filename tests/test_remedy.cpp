@@ -1,0 +1,143 @@
+// Unit + integration tests for the commit-insertion remedy planner
+// (Section 4.1's "insert commit operations at suitable points").
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pfsem/apps/registry.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/core/remedy.hpp"
+
+namespace pfsem::core {
+namespace {
+
+AccessLog log_with_accesses(
+    std::vector<std::tuple<SimTime, Rank, Extent, AccessType>> rows) {
+  AccessLog log;
+  log.nranks = 4;
+  FileLog fl;
+  fl.path = "f";
+  for (const auto& [t, rank, ext, type] : rows) {
+    Access a;
+    a.t = t;
+    a.rank = rank;
+    a.ext = ext;
+    a.type = type;
+    a.t_commit = kTimeNever;  // no commits in the original program
+    a.t_close = kTimeNever;
+    fl.accesses.push_back(a);
+  }
+  std::sort(fl.accesses.begin(), fl.accesses.end(),
+            [](const Access& a, const Access& b) { return a.t < b.t; });
+  log.files["f"] = std::move(fl);
+  return log;
+}
+
+TEST(Remedy, SinglePairNeedsSingleCommit) {
+  auto log = log_with_accesses({{100, 0, {0, 50}, AccessType::Write},
+                                {500, 1, {0, 50}, AccessType::Read}});
+  const auto plan = suggest_commits(log);
+  ASSERT_EQ(plan.commits.size(), 1u);
+  EXPECT_EQ(plan.commits[0].rank, 0);
+  EXPECT_EQ(plan.commits[0].path, "f");
+  EXPECT_GT(plan.commits[0].before, plan.commits[0].after);
+  EXPECT_EQ(plan.uncoverable, 0u);
+  EXPECT_FALSE(verify_plan(log, plan).any());
+}
+
+TEST(Remedy, OneCommitCoversManyReaders) {
+  // One write at 100, five readers at 500..900: a single fsync before 500
+  // clears everything.
+  std::vector<std::tuple<SimTime, Rank, Extent, AccessType>> rows{
+      {100, 0, {0, 50}, AccessType::Write}};
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back({500 + i * 100, 1 + i % 3, Extent{0, 50}, AccessType::Read});
+  }
+  auto log = log_with_accesses(std::move(rows));
+  const auto plan = suggest_commits(log);
+  ASSERT_EQ(plan.commits.size(), 1u);
+  EXPECT_EQ(plan.commits[0].pairs_cleared, 5u);
+  EXPECT_FALSE(verify_plan(log, plan).any());
+}
+
+TEST(Remedy, RepeatedEpochsNeedOneCommitEach) {
+  // Writer rewrites the region before each reader epoch: w@100 r@200,
+  // w@300 r@400, w@500 r@600 — three separate windows for rank 0.
+  auto log = log_with_accesses({{100, 0, {0, 50}, AccessType::Write},
+                                {200, 1, {0, 50}, AccessType::Read},
+                                {300, 0, {0, 50}, AccessType::Write},
+                                {400, 1, {0, 50}, AccessType::Read},
+                                {500, 0, {0, 50}, AccessType::Write},
+                                {600, 1, {0, 50}, AccessType::Read}});
+  const auto plan = suggest_commits(log);
+  // Each write also conflicts with later writes' readers? No: the write
+  // at 100 overlaps reads at 200/400/600, but the greedy cover may clear
+  // them with the later commits; the minimum is 3 (one per write->next
+  // read gap cannot be shared across writers' epochs).
+  EXPECT_EQ(plan.commits.size(), 3u);
+  EXPECT_FALSE(verify_plan(log, plan).any());
+}
+
+TEST(Remedy, SameProcessPairsOnlyInStrictMode) {
+  auto log = log_with_accesses({{100, 2, {0, 50}, AccessType::Write},
+                                {500, 2, {0, 50}, AccessType::Write}});
+  EXPECT_TRUE(suggest_commits(log).commits.empty());
+  const auto strict = suggest_commits(log, {.strict = true});
+  ASSERT_EQ(strict.commits.size(), 1u);
+  EXPECT_TRUE(verify_plan(log, strict, {.strict = true}).any() == false);
+}
+
+TEST(Remedy, BackToBackAccessesAreUncoverable) {
+  auto log = log_with_accesses({{100, 0, {0, 50}, AccessType::Write},
+                                {100, 1, {0, 50}, AccessType::Read}});
+  const auto plan = suggest_commits(log);
+  EXPECT_TRUE(plan.commits.empty());
+  EXPECT_EQ(plan.uncoverable, 1u);
+}
+
+TEST(Remedy, CleanLogNeedsNothing) {
+  auto log = log_with_accesses({{100, 0, {0, 50}, AccessType::Write},
+                                {500, 1, {100, 150}, AccessType::Write}});
+  const auto plan = suggest_commits(log);
+  EXPECT_TRUE(plan.commits.empty());
+  EXPECT_EQ(plan.uncoverable, 0u);
+}
+
+// Integration: the planner clears FLASH's cross-process conflicts, and the
+// suggested insertion count matches the flush-epoch structure (one commit
+// per adjacent metadata-rewrite pair per file).
+TEST(RemedyIntegration, PlansClearFlash) {
+  apps::AppConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.bytes_per_rank = 64 * 1024;
+  const auto bundle = apps::run_app(*apps::find_app("FLASH-fbs"), cfg);
+  const auto log = reconstruct_accesses(bundle);
+
+  // FLASH already fsyncs in H5Fflush, so the plan should be EMPTY under
+  // commit semantics — the point of Section 6.3.
+  const auto plan = suggest_commits(log);
+  EXPECT_TRUE(plan.commits.empty())
+      << "FLASH's own fsyncs already clear its commit-semantics conflicts";
+}
+
+// Integration: NWChem's same-process conflicts are plannable in strict
+// mode, and applying the plan clears them.
+TEST(RemedyIntegration, StrictPlanClearsNWChem) {
+  apps::AppConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.bytes_per_rank = 64 * 1024;
+  const auto bundle = apps::run_app(*apps::find_app("NWChem"), cfg);
+  const auto log = reconstruct_accesses(bundle);
+  const auto before = detect_conflicts(log);
+  ASSERT_TRUE(before.commit.any());
+  const auto plan = suggest_commits(log, {.strict = true});
+  EXPECT_FALSE(plan.commits.empty());
+  EXPECT_EQ(plan.uncoverable, 0u);
+  EXPECT_FALSE(verify_plan(log, plan, {.strict = true}).any());
+}
+
+}  // namespace
+}  // namespace pfsem::core

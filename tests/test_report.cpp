@@ -1,0 +1,99 @@
+// Unit tests for the run-report module (function counters, size
+// histograms, per-file summaries).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pfsem/apps/registry.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/core/report.hpp"
+
+namespace pfsem::core {
+namespace {
+
+TEST(SizeHistogram, BucketsByPowerOfTwo) {
+  SizeHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4096);
+  h.add(8191);
+  h.add(8192);
+  h.add(1ull << 40);  // lands in the open-ended top bucket
+  EXPECT_EQ(h.counts[0], 2u);   // 0 and 1
+  EXPECT_EQ(h.counts[1], 2u);   // 2 and 3
+  EXPECT_EQ(h.counts[12], 2u);  // [4096, 8192)
+  EXPECT_EQ(h.counts[13], 1u);  // [8192, 16384)
+  EXPECT_EQ(h.counts[SizeHistogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(SizeHistogram, Labels) {
+  EXPECT_EQ(SizeHistogram::bucket_label(0), "0B-2B");
+  EXPECT_EQ(SizeHistogram::bucket_label(12), "4KiB-8KiB");
+  EXPECT_EQ(SizeHistogram::bucket_label(20), "1MiB-2MiB");
+  EXPECT_EQ(SizeHistogram::bucket_label(SizeHistogram::kBuckets - 1),
+            ">=2GiB");
+}
+
+TEST(RunReport, CountsFromRealRun) {
+  apps::AppConfig cfg;
+  cfg.nranks = 8;
+  cfg.ranks_per_node = 4;
+  const auto bundle = apps::run_app(*apps::find_app("LAMMPS-NetCDF"), cfg);
+  const auto log = reconstruct_accesses(bundle);
+  const auto conflicts = detect_conflicts(log);
+  const auto rep = build_report(bundle, log, conflicts);
+
+  EXPECT_EQ(rep.nranks, 8);
+  EXPECT_EQ(rep.records, bundle.records.size());
+  EXPECT_GT(rep.function_counts.at(trace::Func::pwrite), 0u);
+  EXPECT_GT(rep.function_counts.at(trace::Func::nc_put_vara), 0u);
+  EXPECT_GT(rep.layer_counts.at(trace::Layer::Posix), 0u);
+  EXPECT_GT(rep.layer_counts.at(trace::Layer::NetCdf), 0u);
+  EXPECT_GT(rep.write_sizes.total(), 0u);
+  EXPECT_GT(rep.span, 0);
+
+  // The dump file must show writes and its session conflict count.
+  const auto& dump = rep.files.at("dump.nc");
+  EXPECT_GT(dump.writes, 0u);
+  EXPECT_GT(dump.write_bytes, 0u);
+  EXPECT_GT(dump.session_conflicts, 0u);
+  EXPECT_GT(dump.commit_conflicts, 0u);
+}
+
+TEST(RunReport, PrintsWithoutChoking) {
+  apps::AppConfig cfg;
+  cfg.nranks = 8;
+  cfg.ranks_per_node = 4;
+  const auto bundle = apps::run_app(*apps::find_app("GTC"), cfg);
+  const auto log = reconstruct_accesses(bundle);
+  const auto rep = build_report(bundle, log, detect_conflicts(log));
+  std::ostringstream os;
+  print_report(rep, os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("run report"), std::string::npos);
+  EXPECT_NE(text.find("function counters"), std::string::npos);
+  EXPECT_NE(text.find("request sizes"), std::string::npos);
+  EXPECT_NE(text.find("per-file summary"), std::string::npos);
+  EXPECT_NE(text.find("history.out"), std::string::npos);
+}
+
+TEST(RunReport, EmptyTraceSafe) {
+  trace::TraceBundle bundle;
+  bundle.nranks = 4;
+  AccessLog log;
+  log.nranks = 4;
+  ConflictReport conflicts;
+  const auto rep = build_report(bundle, log, conflicts);
+  EXPECT_EQ(rep.records, 0u);
+  EXPECT_EQ(rep.span, 0);
+  std::ostringstream os;
+  print_report(rep, os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace pfsem::core

@@ -1,0 +1,125 @@
+// Unit + integration tests for per-file consistency tuning (the
+// Section 2.3 tunable-semantics extension).
+
+#include <gtest/gtest.h>
+
+#include "pfsem/apps/registry.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/core/tuning.hpp"
+
+namespace pfsem::core {
+namespace {
+
+FileLog make_file(const std::string& path,
+                  std::vector<std::tuple<SimTime, Rank, Extent, AccessType,
+                                         SimTime, SimTime, SimTime>>
+                      rows) {
+  FileLog fl;
+  fl.path = path;
+  for (const auto& [t, rank, ext, type, t_open, t_commit, t_close] : rows) {
+    Access a;
+    a.t = t;
+    a.rank = rank;
+    a.ext = ext;
+    a.type = type;
+    a.t_open = t_open;
+    a.t_commit = t_commit;
+    a.t_close = t_close;
+    fl.accesses.push_back(a);
+  }
+  return fl;
+}
+
+TEST(Tuning, ConflictFreeFileIsEventual) {
+  AccessLog log;
+  log.nranks = 2;
+  log.files["clean"] = make_file(
+      "clean", {{10, 0, {0, 100}, AccessType::Write, 0, 50, 50},
+                {20, 1, {100, 200}, AccessType::Write, 0, 60, 60}});
+  const auto rep = per_file_tuning(log);
+  ASSERT_EQ(rep.files.size(), 1u);
+  EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Eventual);
+  EXPECT_DOUBLE_EQ(rep.eventual_fraction(), 1.0);
+}
+
+TEST(Tuning, SameProcessConflictStaysSession) {
+  AccessLog log;
+  log.nranks = 2;
+  log.files["idx"] = make_file(
+      "idx", {{10, 0, {0, 8}, AccessType::Write, 0, kTimeNever, kTimeNever},
+              {20, 0, {0, 8}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  const auto rep = per_file_tuning(log);
+  EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Session);
+  EXPECT_EQ(rep.files[0].session_pairs, 1u);
+}
+
+TEST(Tuning, CrossProcessClearedByCommitIsCommit) {
+  AccessLog log;
+  log.nranks = 2;
+  // writer commits at 15, before the second access at 20: commit clean,
+  // session conflicting.
+  log.files["meta"] = make_file(
+      "meta", {{10, 0, {0, 96}, AccessType::Write, 0, 15, kTimeNever},
+               {20, 1, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  const auto rep = per_file_tuning(log);
+  EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Commit);
+}
+
+TEST(Tuning, CrossProcessUnclearedNeedsStrong) {
+  AccessLog log;
+  log.nranks = 2;
+  log.files["hot"] = make_file(
+      "hot", {{10, 0, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever},
+              {20, 1, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  const auto rep = per_file_tuning(log);
+  EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Strong);
+  EXPECT_EQ(rep.relaxed_fraction(), 0.0);
+}
+
+TEST(Tuning, MixedFilesAggregateByBytes) {
+  AccessLog log;
+  log.nranks = 2;
+  log.files["bulk"] = make_file(
+      "bulk", {{10, 0, {0, 900}, AccessType::Write, 0, 50, 50},
+               {20, 1, {900, 1800}, AccessType::Write, 0, 60, 60}});
+  log.files["hot"] = make_file(
+      "hot", {{10, 0, {0, 100}, AccessType::Write, 0, kTimeNever, kTimeNever},
+              {20, 1, {0, 100}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  const auto rep = per_file_tuning(log);
+  EXPECT_EQ(rep.total_bytes, 2000u);
+  EXPECT_EQ(rep.relaxed_bytes, 1800u);
+  EXPECT_DOUBLE_EQ(rep.relaxed_fraction(), 0.9);
+}
+
+// Integration: the conflicting applications keep almost all their bytes
+// on relaxed semantics — the conflicts live in tiny metadata files.
+TEST(TuningIntegration, ConflictingAppsAreMostlyRelaxable) {
+  for (const char* name : {"LAMMPS-ADIOS", "LAMMPS-NetCDF", "FLASH-fbs",
+                           "MACSio", "NWChem"}) {
+    const auto* info = apps::find_app(name);
+    ASSERT_NE(info, nullptr);
+    apps::AppConfig cfg;
+    cfg.nranks = 16;
+    cfg.ranks_per_node = 4;
+    cfg.bytes_per_rank = 64 * 1024;
+    const auto bundle = apps::run_app(*info, cfg);
+    const auto log = reconstruct_accesses(bundle);
+    const auto rep = per_file_tuning(log);
+    SCOPED_TRACE(name);
+    EXPECT_GT(rep.relaxed_fraction(), 0.9);
+  }
+}
+
+// Integration: a conflict-free app is fully eventual-safe per file.
+TEST(TuningIntegration, ConflictFreeAppFullyEventual) {
+  const auto* info = apps::find_app("VPIC-IO");
+  apps::AppConfig cfg;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  const auto bundle = apps::run_app(*info, cfg);
+  const auto rep = per_file_tuning(reconstruct_accesses(bundle));
+  EXPECT_DOUBLE_EQ(rep.eventual_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace pfsem::core
