@@ -20,7 +20,10 @@ int main() {
   vfs::BurstBufferPfs bb(vfs::BurstBufferConfig{.ranks_per_node = 4});
   mpi::World world(engine, collector,
                    mpi::WorldConfig{.nranks = kRanks, .ranks_per_node = 4});
-  iolib::PosixIo posix({&engine, &world, &bb, &collector});
+  iolib::PosixIo posix({.engine = &engine,
+                        .world = &world,
+                        .pfs = &bb,
+                        .collector = &collector});
 
   SimTime checkpoint_done = 0;
   auto program = [&](Rank r) -> sim::Task<void> {

@@ -25,7 +25,10 @@ int main() {
   trace::Collector collector(/*nranks=*/2);
   vfs::Pfs pfs;  // strong (POSIX) semantics by default
   mpi::World world(engine, collector, mpi::WorldConfig{.nranks = 2});
-  iolib::PosixIo posix({&engine, &world, &pfs, &collector});
+  iolib::PosixIo posix({.engine = &engine,
+                        .world = &world,
+                        .pfs = &pfs,
+                        .collector = &collector});
 
   // 2. Describe each rank's program as a coroutine.
   auto producer = [&]() -> sim::Task<void> {

@@ -29,7 +29,10 @@ bool read_is_fresh(vfs::ConsistencyModel model, Discipline d) {
   pcfg.model = model;
   vfs::Pfs pfs(pcfg);
   mpi::World world(engine, collector, mpi::WorldConfig{.nranks = 2});
-  iolib::PosixIo posix({&engine, &world, &pfs, &collector});
+  iolib::PosixIo posix({.engine = &engine,
+                        .world = &world,
+                        .pfs = &pfs,
+                        .collector = &collector});
 
   bool fresh = false;
   auto producer = [&]() -> sim::Task<void> {

@@ -33,10 +33,21 @@ vfs::Pfs& Harness::pfs() {
 }
 
 sim::Task<void> Harness::compute(Rank r, SimDuration base) {
+  // Operation-boundary crash check: a crashed rank never starts another
+  // time step (iolib and mpi enforce the same at their entry points).
+  if (injector_ != nullptr && injector_->crashed(r)) throw sim::TaskKilled(r);
   auto& rng = rank_rngs_[static_cast<std::size_t>(r)];
   const auto jitter =
       static_cast<SimDuration>(rng.below(static_cast<std::uint64_t>(base / 4 + 1)));
   co_await engine_.delay(base + jitter);
+}
+
+void Harness::set_faults(const fault::FaultPlan& plan,
+                         std::uint64_t fault_seed) {
+  injector_ =
+      std::make_unique<fault::Injector>(plan, fault_seed, cfg_.ranks_per_node);
+  fs_->set_fault_injector(injector_.get());
+  world_.set_fault_injector(injector_.get());
 }
 
 std::uint64_t Harness::shaped(std::uint64_t salt, Rank r, std::uint64_t lo,
@@ -52,16 +63,48 @@ std::uint64_t Harness::shaped(std::uint64_t salt, Rank r, std::uint64_t lo,
 }
 
 void Harness::run(const std::function<sim::Task<void>(Rank)>& program) {
+  if (injector_ != nullptr) {
+    // One scheduler root per planned crash: at the crash instant, mark the
+    // victim dead (every later op boundary kills its program) and discard
+    // its non-durable writes per the active consistency model.
+    for (const auto& [victim, when] : injector_->crash_schedule(cfg_.nranks)) {
+      engine_.spawn(
+          [](Harness* h, Rank rank, SimTime t) -> sim::Task<void> {
+            co_await h->engine_.delay(t);
+            h->injector_->mark_crashed(rank);
+            h->injector_->note_lost_writes(
+                h->fs_->crash_rank(rank, h->engine_.now()));
+          }(this, victim, when));
+    }
+  }
   for (Rank r = 0; r < cfg_.nranks; ++r) {
-    engine_.spawn([](Harness* h, Rank rank,
-                     std::function<sim::Task<void>(Rank)> body) -> sim::Task<void> {
-      // The paper's methodology: a startup barrier defines time zero and
-      // bounds clock skew before any traced I/O happens.
-      co_await h->world().barrier(rank);
-      co_await body(rank);
-    }(this, r, program));
+    engine_.spawn(
+        [](Harness* h, Rank rank,
+           std::function<sim::Task<void>(Rank)> body) -> sim::Task<void> {
+          // The paper's methodology: a startup barrier defines time zero and
+          // bounds clock skew before any traced I/O happens.
+          co_await h->world().barrier(rank);
+          co_await body(rank);
+        }(this, r, program),
+        /*label=*/r);
   }
   engine_.run();
+}
+
+core::DegradedSummary degraded_summary(const fault::FaultStats& stats) {
+  core::DegradedSummary d;
+  d.faults_injected = stats.transient_faults;
+  d.faults_eio = stats.faults_eio;
+  d.faults_enospc = stats.faults_enospc;
+  d.retries = stats.retries;
+  d.giveups = stats.giveups;
+  d.mpi_drops = stats.mpi_drops;
+  d.slowed_transfers = stats.slowed_transfers;
+  d.delayed_writes = stats.delayed_writes;
+  d.writes_lost = stats.writes_lost;
+  d.crashed_ranks.assign(stats.crashed_ranks.begin(),
+                         stats.crashed_ranks.end());
+  return d;
 }
 
 }  // namespace pfsem::apps

@@ -8,6 +8,8 @@
 #include <memory>
 #include <vector>
 
+#include "pfsem/core/report.hpp"
+#include "pfsem/fault/injector.hpp"
 #include "pfsem/iolib/context.hpp"
 #include "pfsem/mpi/world.hpp"
 #include "pfsem/sim/clock.hpp"
@@ -49,8 +51,20 @@ class Harness {
   [[nodiscard]] vfs::Pfs& pfs();
   [[nodiscard]] trace::Collector& collector() { return collector_; }
   [[nodiscard]] iolib::IoContext ctx() {
-    return {&engine_, &world_, fs_.get(), &collector_};
+    return {&engine_, &world_, fs_.get(), &collector_, injector_.get(),
+            retry_};
   }
+
+  /// Arm fault injection for this run (call before run()): builds the
+  /// injector and wires it into the file system and the MPI world. run()
+  /// then schedules the plan's crashes.
+  void set_faults(const fault::FaultPlan& plan, std::uint64_t fault_seed);
+  /// Retry policy handed to every façade built from ctx().
+  void set_retry_policy(iolib::RetryPolicy policy) {
+    retry_ = std::move(policy);
+  }
+  /// nullptr when no faults are armed.
+  [[nodiscard]] fault::Injector* injector() { return injector_.get(); }
 
   /// Stage an input file before the run (visible under every model).
   void preload(const std::string& path, Offset size) {
@@ -81,6 +95,13 @@ class Harness {
   vfs::Pfs* concrete_pfs_ = nullptr;  // set when the default backend is used
   mpi::World world_;
   std::vector<Rng> rank_rngs_;
+  std::unique_ptr<fault::Injector> injector_;
+  iolib::RetryPolicy retry_;
 };
+
+/// Convert the injector's run stats into the report's degraded summary
+/// (lives here so pfsem::core stays independent of pfsem::fault).
+[[nodiscard]] core::DegradedSummary degraded_summary(
+    const fault::FaultStats& stats);
 
 }  // namespace pfsem::apps

@@ -46,9 +46,22 @@ struct AppInfo {
 /// Lookup by configuration name; nullptr if unknown.
 [[nodiscard]] const AppInfo* find_app(std::string_view name);
 
+/// Fault-injection wiring for run_app: the plan, the fault seed (drives the
+/// injector's RNG — same plan + seed reproduces the run bit-identically),
+/// and the iolib retry policy.
+struct FaultSetup {
+  fault::FaultPlan plan;
+  std::uint64_t seed = 1;
+  iolib::RetryPolicy retry;
+};
+
 /// Convenience: build a harness, run the configuration, return its trace.
+/// Pass `faults` to run under fault injection; `stats_out` (optional)
+/// receives the degraded-mode statistics after the run.
 [[nodiscard]] trace::TraceBundle run_app(const AppInfo& info, AppConfig cfg = {},
                                          vfs::PfsConfig pfs_cfg = {},
-                                         std::vector<sim::ClockModel> clocks = {});
+                                         std::vector<sim::ClockModel> clocks = {},
+                                         const FaultSetup* faults = nullptr,
+                                         fault::FaultStats* stats_out = nullptr);
 
 }  // namespace pfsem::apps

@@ -158,9 +158,19 @@ const AppInfo* find_app(std::string_view name) {
 
 trace::TraceBundle run_app(const AppInfo& info, AppConfig cfg,
                            vfs::PfsConfig pfs_cfg,
-                           std::vector<sim::ClockModel> clocks) {
+                           std::vector<sim::ClockModel> clocks,
+                           const FaultSetup* faults,
+                           fault::FaultStats* stats_out) {
   Harness h(cfg, pfs_cfg, std::move(clocks));
+  if (faults != nullptr) {
+    h.set_faults(faults->plan, faults->seed);
+    h.set_retry_policy(faults->retry);
+  }
   info.run(h);
+  if (stats_out != nullptr) {
+    *stats_out = h.injector() != nullptr ? h.injector()->stats()
+                                         : fault::FaultStats{};
+  }
   return h.finish();
 }
 

@@ -7,7 +7,9 @@
 #include <array>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "pfsem/core/access.hpp"
 #include "pfsem/core/conflict.hpp"
@@ -37,6 +39,29 @@ struct FileReport {
   FileLayout layout = FileLayout::Consecutive;
 };
 
+/// Degraded-mode summary of a fault-injected run: what the environment did
+/// to the application and what survived. Plain counters so core stays
+/// independent of pfsem::fault (apps::degraded_summary converts the
+/// injector's stats into this).
+struct DegradedSummary {
+  std::uint64_t faults_injected = 0;  ///< transient errors raised
+  std::uint64_t faults_eio = 0;
+  std::uint64_t faults_enospc = 0;
+  std::uint64_t retries = 0;           ///< retry attempts consumed
+  std::uint64_t giveups = 0;           ///< ops that exhausted their budget
+  std::uint64_t mpi_drops = 0;         ///< messages dropped + retransmitted
+  std::uint64_t slowed_transfers = 0;  ///< transfers hit by OST slowdowns
+  std::uint64_t delayed_writes = 0;    ///< writes hit by visibility spikes
+  std::uint64_t writes_lost = 0;       ///< versions discarded by crashes
+  std::vector<int> crashed_ranks;      ///< in crash order
+
+  /// A crash means some rank's trace stops early: per-file counters and
+  /// conflict analysis describe a truncated run, not the intended one.
+  [[nodiscard]] bool analysis_truncated() const {
+    return !crashed_ranks.empty();
+  }
+};
+
 struct RunReport {
   int nranks = 0;
   std::uint64_t records = 0;
@@ -51,6 +76,8 @@ struct RunReport {
   TransitionMix local, global;
   /// Total simulated wall time covered by the trace.
   SimTime span = 0;
+  /// Present when the run executed under fault injection.
+  std::optional<DegradedSummary> degraded;
 };
 
 /// Build the full report for one run.
@@ -60,5 +87,9 @@ struct RunReport {
 
 /// Render as human-readable text.
 void print_report(const RunReport& report, std::ostream& os);
+
+/// Render the degraded-mode section alone (print_report calls this when
+/// the report carries one).
+void print_degraded(const DegradedSummary& d, std::ostream& os);
 
 }  // namespace pfsem::core

@@ -134,6 +134,36 @@ void print_report(const RunReport& rep, std::ostream& os) {
                    std::to_string(fr.commit_conflicts)});
   }
   files.print(os);
+
+  if (rep.degraded) {
+    os << "\n";
+    print_degraded(*rep.degraded, os);
+  }
+}
+
+void print_degraded(const DegradedSummary& d, std::ostream& os) {
+  os << "== degraded mode ==\n";
+  Table t({"counter", "value"});
+  t.add_row({"transient faults injected", std::to_string(d.faults_injected)});
+  t.add_row({"  of which EIO", std::to_string(d.faults_eio)});
+  t.add_row({"  of which ENOSPC", std::to_string(d.faults_enospc)});
+  t.add_row({"retries consumed", std::to_string(d.retries)});
+  t.add_row({"give-ups (budget exhausted)", std::to_string(d.giveups)});
+  t.add_row({"MPI messages dropped", std::to_string(d.mpi_drops)});
+  t.add_row({"transfers slowed (OST)", std::to_string(d.slowed_transfers)});
+  t.add_row({"writes delayed (visibility)", std::to_string(d.delayed_writes)});
+  t.add_row({"writes lost to crashes", std::to_string(d.writes_lost)});
+  std::string ranks;
+  for (const int r : d.crashed_ranks) {
+    if (!ranks.empty()) ranks += ", ";
+    ranks += std::to_string(r);
+  }
+  t.add_row({"ranks crashed", ranks.empty() ? "none" : ranks});
+  t.print(os);
+  os << (d.analysis_truncated()
+             ? "analysis: TRUNCATED (at least one rank crashed; per-file "
+               "counters and conflicts describe a partial run)\n"
+             : "analysis: valid (no rank crashed; faults were absorbed)\n");
 }
 
 }  // namespace pfsem::core

@@ -1,0 +1,100 @@
+#pragma once
+// Runtime side of fault injection: turns a (FaultPlan, seed) pair into
+// per-operation decisions and accumulates the degraded-mode statistics the
+// run report prints.
+//
+// Determinism: the injector owns one Rng seeded from the fault seed, and
+// every probabilistic decision (transient errors, MPI drops) draws from it
+// in simulation-event order — which the DES engine makes deterministic —
+// so identical (workload seed, fault plan, fault seed) triples reproduce
+// bit-identical traces and identical FaultStats. Window checks (slowdowns,
+// visibility spikes) and the crash schedule are pure functions of time and
+// consume no randomness.
+//
+// The injector is wired by the harness into every layer that can fail:
+// vfs backends (transient errors, slowdowns, spikes, crash durability),
+// mpi::World (message drops, crashed-sender/receiver fail-stop), and
+// iolib (retry accounting, crash checks at operation boundaries).
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "pfsem/fault/plan.hpp"
+#include "pfsem/util/rng.hpp"
+
+namespace pfsem::fault {
+
+/// Degraded-mode counters for one run. Everything here is deterministic
+/// under a fixed (plan, seed); tests compare whole structs.
+struct FaultStats {
+  std::uint64_t transient_faults = 0;  ///< transient errors injected
+  std::uint64_t faults_eio = 0;        ///< ... of which EIO
+  std::uint64_t faults_enospc = 0;     ///< ... of which ENOSPC
+  std::uint64_t retries = 0;           ///< retry attempts consumed (iolib)
+  std::uint64_t giveups = 0;           ///< ops that exhausted their budget
+  std::uint64_t slowed_transfers = 0;  ///< transfers hit by a slowdown window
+  std::uint64_t delayed_writes = 0;    ///< writes hit by a visibility spike
+  std::uint64_t mpi_drops = 0;         ///< messages dropped then retransmitted
+  std::uint64_t writes_lost = 0;       ///< versions discarded by crashes
+  std::vector<std::uint64_t> lost_versions;  ///< the discarded version tags
+  std::vector<Rank> crashed_ranks;           ///< in crash order
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+class Injector {
+ public:
+  /// `ranks_per_node` resolves crash:node= clauses to rank sets.
+  Injector(FaultPlan plan, std::uint64_t seed, int ranks_per_node);
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Transient-fault decision for one operation: 0 = proceed, otherwise
+  /// the simulated errno to fail with. Draws randomness; call exactly once
+  /// per attempted operation.
+  [[nodiscard]] int on_op(OpClass c, Rank r, SimTime now);
+
+  /// Multiplicative slowdown for a transfer touching OST `ost` at `now`
+  /// (>= 1.0). Pure; use note_slowed_transfer() to count affected ops.
+  [[nodiscard]] double transfer_factor(int ost, SimTime now) const;
+
+  /// Extra propagation delay (eventual model) for a write issued at
+  /// `t_write`. Pure function of the plan.
+  [[nodiscard]] SimDuration visibility_extra(SimTime t_write) const;
+
+  /// Extra delivery latency for a message sent at `now` (0 = first try).
+  /// Draws randomness; call exactly once per send.
+  [[nodiscard]] SimDuration mpi_delay(Rank from, Rank to, SimTime now);
+
+  /// Crash schedule resolved to (rank, time) pairs, node clauses expanded,
+  /// sorted by (time, rank). Ranks outside [0, nranks) are dropped.
+  [[nodiscard]] std::vector<std::pair<Rank, SimTime>> crash_schedule(
+      int nranks) const;
+
+  /// Fail-stop bookkeeping: mark_crashed is called by the crash scheduler
+  /// at the crash instant; crashed() is checked by iolib/mpi/harness at
+  /// every operation boundary of the victim.
+  void mark_crashed(Rank r);
+  [[nodiscard]] bool crashed(Rank r) const { return crashed_.contains(r); }
+
+  // --- degraded-mode accounting hooks ---------------------------------
+  void note_retry() { ++stats_.retries; }
+  void note_giveup() { ++stats_.giveups; }
+  void note_slowed_transfer() { ++stats_.slowed_transfers; }
+  void note_delayed_write() { ++stats_.delayed_writes; }
+  void note_lost_writes(const std::vector<std::uint64_t>& versions);
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  int ranks_per_node_;
+  std::set<Rank> crashed_;
+  FaultStats stats_;
+};
+
+}  // namespace pfsem::fault

@@ -1,0 +1,104 @@
+#pragma once
+// Deterministic fault plans.
+//
+// A FaultPlan is a declarative, seed-driven schedule of environment faults
+// for one simulated run: transient I/O errors (EIO/ENOSPC) with a
+// configurable probability per operation class, OST slowdown windows
+// (stragglers), delayed-visibility spikes for the eventual model, dropped-
+// then-retransmitted MPI messages, and fail-stop rank/node crashes at a
+// fixed simulated time. Plans are pure data; the fault::Injector turns a
+// (plan, seed) pair into concrete per-operation decisions. Because the DES
+// engine dispatches events in a deterministic order, the same plan + seed
+// always produces bit-identical traces and identical degraded-mode stats.
+//
+// The spec grammar (parsed by FaultPlan::parse, documented in
+// docs/faults.md) is a semicolon-separated clause list:
+//
+//   eio:p=0.01,ops=write        transient EIO on 1% of writes
+//   enospc:p=0.001,ops=data     transient ENOSPC on reads+writes
+//   slow:factor=10,from=1ms,to=3ms[,ost=2]   OST slowdown window
+//   vis:extra=20ms,from=0,to=5ms             visibility spike (eventual)
+//   drop:p=0.05,timeout=1ms     MPI message drop + retransmit delay
+//   crash:rank=3,t=2ms          fail-stop crash of rank 3 at t=2ms
+//   crash:node=1,t=2ms          crash every rank on node 1
+
+#include <string>
+#include <vector>
+
+#include "pfsem/util/types.hpp"
+
+namespace pfsem::fault {
+
+/// Operation classes transient faults can target.
+enum class OpClass : std::uint8_t { Read = 0, Write = 1, Meta = 2, Sync = 3 };
+inline constexpr int kOpClasses = 4;
+
+[[nodiscard]] const char* to_string(OpClass c);
+
+// Simulated errno values (numerically equal to Linux's, but self-contained
+// so the simulation does not depend on the host's <cerrno>).
+inline constexpr int kEio = 5;     ///< I/O error (transient, retryable)
+inline constexpr int kEnospc = 28; ///< no space left (transient, retryable)
+inline constexpr int kErofs = 30;  ///< read-only file (laminated; permanent)
+
+/// Human name for a simulated errno ("EIO", "ENOSPC", ...).
+[[nodiscard]] const char* errno_name(int err);
+
+/// Inject `err` on each matching operation with probability `probability`.
+struct TransientFault {
+  int err = kEio;
+  double probability = 0.0;
+  bool ops[kOpClasses] = {false, false, false, false};
+
+  [[nodiscard]] bool applies(OpClass c) const {
+    return ops[static_cast<int>(c)];
+  }
+};
+
+/// Multiply per-OST transfer time by `factor` during [from, to).
+struct OstSlowdown {
+  double factor = 1.0;
+  SimTime from = 0;
+  SimTime to = kTimeNever;
+  int ost = -1;  ///< -1 = every OST (whole-PFS congestion)
+};
+
+/// Writes issued during [from, to) take `extra` additional propagation
+/// time before becoming visible under the eventual model.
+struct VisibilitySpike {
+  SimDuration extra = 0;
+  SimTime from = 0;
+  SimTime to = kTimeNever;
+};
+
+/// Drop each MPI message with probability `probability`; the sender
+/// retransmits after `retransmit` (so the message is delayed, not lost).
+struct MpiDrop {
+  double probability = 0.0;
+  SimDuration retransmit = 1'000'000;  // 1 ms
+};
+
+/// Fail-stop crash: exactly one of `rank` / `node` is set.
+struct CrashEvent {
+  Rank rank = kNoRank;
+  int node = -1;
+  SimTime t = 0;
+};
+
+struct FaultPlan {
+  std::vector<TransientFault> transients;
+  std::vector<OstSlowdown> slowdowns;
+  std::vector<VisibilitySpike> spikes;
+  std::vector<MpiDrop> drops;
+  std::vector<CrashEvent> crashes;
+
+  [[nodiscard]] bool empty() const {
+    return transients.empty() && slowdowns.empty() && spikes.empty() &&
+           drops.empty() && crashes.empty();
+  }
+
+  /// Parse the spec grammar above; throws pfsem::Error on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+};
+
+}  // namespace pfsem::fault

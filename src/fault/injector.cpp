@@ -1,0 +1,97 @@
+#include "pfsem/fault/injector.hpp"
+
+#include <algorithm>
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::fault {
+
+Injector::Injector(FaultPlan plan, std::uint64_t seed, int ranks_per_node)
+    : plan_(std::move(plan)), rng_(seed), ranks_per_node_(ranks_per_node) {
+  require(ranks_per_node_ >= 1, "Injector: ranks_per_node must be >= 1");
+}
+
+int Injector::on_op(OpClass c, Rank r, SimTime now) {
+  (void)r;
+  (void)now;
+  for (const auto& t : plan_.transients) {
+    if (!t.applies(c) || t.probability <= 0.0) continue;
+    // One draw per matching rule, in plan order, keeps the stream
+    // deterministic no matter which rule fires.
+    if (!rng_.chance(t.probability)) continue;
+    ++stats_.transient_faults;
+    if (t.err == kEio) ++stats_.faults_eio;
+    if (t.err == kEnospc) ++stats_.faults_enospc;
+    return t.err;
+  }
+  return 0;
+}
+
+double Injector::transfer_factor(int ost, SimTime now) const {
+  double factor = 1.0;
+  for (const auto& s : plan_.slowdowns) {
+    if (now < s.from || now >= s.to) continue;
+    if (s.ost >= 0 && s.ost != ost) continue;
+    factor = std::max(factor, s.factor);
+  }
+  return factor;
+}
+
+SimDuration Injector::visibility_extra(SimTime t_write) const {
+  SimDuration extra = 0;
+  for (const auto& s : plan_.spikes) {
+    if (t_write < s.from || t_write >= s.to) continue;
+    extra = std::max(extra, s.extra);
+  }
+  return extra;
+}
+
+SimDuration Injector::mpi_delay(Rank from, Rank to, SimTime now) {
+  (void)from;
+  (void)to;
+  (void)now;
+  SimDuration delay = 0;
+  for (const auto& d : plan_.drops) {
+    if (d.probability <= 0.0) continue;
+    if (!rng_.chance(d.probability)) continue;
+    ++stats_.mpi_drops;
+    delay += d.retransmit;
+  }
+  return delay;
+}
+
+std::vector<std::pair<Rank, SimTime>> Injector::crash_schedule(
+    int nranks) const {
+  std::vector<std::pair<Rank, SimTime>> out;
+  for (const auto& c : plan_.crashes) {
+    if (c.rank != kNoRank) {
+      if (c.rank >= 0 && c.rank < nranks) out.emplace_back(c.rank, c.t);
+    } else {
+      const Rank first = static_cast<Rank>(c.node) * ranks_per_node_;
+      for (Rank r = first; r < first + ranks_per_node_; ++r) {
+        if (r >= 0 && r < nranks) out.emplace_back(r, c.t);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first == b.first;
+                        }),
+            out.end());
+  return out;
+}
+
+void Injector::mark_crashed(Rank r) {
+  if (crashed_.insert(r).second) stats_.crashed_ranks.push_back(r);
+}
+
+void Injector::note_lost_writes(const std::vector<std::uint64_t>& versions) {
+  stats_.writes_lost += versions.size();
+  stats_.lost_versions.insert(stats_.lost_versions.end(), versions.begin(),
+                              versions.end());
+}
+
+}  // namespace pfsem::fault

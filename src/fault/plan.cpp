@@ -1,0 +1,200 @@
+#include "pfsem/fault/plan.hpp"
+
+#include <cstdlib>
+
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::fault {
+
+const char* to_string(OpClass c) {
+  switch (c) {
+    case OpClass::Read: return "read";
+    case OpClass::Write: return "write";
+    case OpClass::Meta: return "meta";
+    case OpClass::Sync: return "sync";
+  }
+  return "?";
+}
+
+const char* errno_name(int err) {
+  switch (err) {
+    case 0: return "OK";
+    case kEio: return "EIO";
+    case kEnospc: return "ENOSPC";
+    case kErofs: return "EROFS";
+  }
+  return "E?";
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !v.empty(),
+          "fault plan: bad numeric value for '" + key + "': " + v);
+  return d;
+}
+
+long long parse_int(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !v.empty(),
+          "fault plan: bad integer value for '" + key + "': " + v);
+  return n;
+}
+
+/// Durations accept an optional unit suffix: ns (default), us, ms, s.
+SimDuration parse_duration(const std::string& key, std::string v) {
+  SimDuration scale = 1;
+  auto ends_with = [&v](const char* suf) {
+    const std::string s(suf);
+    return v.size() >= s.size() && v.compare(v.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with("ns")) {
+    v.resize(v.size() - 2);
+  } else if (ends_with("us")) {
+    scale = 1'000;
+    v.resize(v.size() - 2);
+  } else if (ends_with("ms")) {
+    scale = 1'000'000;
+    v.resize(v.size() - 2);
+  } else if (ends_with("s")) {
+    scale = 1'000'000'000;
+    v.resize(v.size() - 1);
+  }
+  return parse_int(key, v) * scale;
+}
+
+void parse_ops(const std::string& v, TransientFault& f) {
+  for (const auto& tok : split(v, '|')) {
+    if (tok == "read") {
+      f.ops[static_cast<int>(OpClass::Read)] = true;
+    } else if (tok == "write") {
+      f.ops[static_cast<int>(OpClass::Write)] = true;
+    } else if (tok == "meta") {
+      f.ops[static_cast<int>(OpClass::Meta)] = true;
+    } else if (tok == "sync") {
+      f.ops[static_cast<int>(OpClass::Sync)] = true;
+    } else if (tok == "data") {
+      f.ops[static_cast<int>(OpClass::Read)] = true;
+      f.ops[static_cast<int>(OpClass::Write)] = true;
+    } else if (tok == "all") {
+      for (auto& b : f.ops) b = true;
+    } else {
+      require(false, "fault plan: unknown op class '" + tok + "'");
+    }
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const auto& raw_clause : split(spec, ';')) {
+    const std::string clause = trim(raw_clause);
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    const std::string kind = clause.substr(0, colon);
+    std::vector<std::pair<std::string, std::string>> kv;
+    if (colon != std::string::npos) {
+      for (const auto& raw_item : split(clause.substr(colon + 1), ',')) {
+        const std::string item = trim(raw_item);
+        if (item.empty()) continue;
+        const std::size_t eq = item.find('=');
+        require(eq != std::string::npos,
+                "fault plan: expected key=value, got '" + item + "'");
+        kv.emplace_back(trim(item.substr(0, eq)),
+                        trim(item.substr(eq + 1)));
+      }
+    }
+    auto reject = [&](const std::string& key) {
+      require(false, "fault plan: unknown key '" + key + "' in '" + kind +
+                         "' clause");
+    };
+    if (kind == "eio" || kind == "enospc") {
+      TransientFault f;
+      f.err = kind == "eio" ? kEio : kEnospc;
+      bool ops_given = false;
+      for (const auto& [k, v] : kv) {
+        if (k == "p") f.probability = parse_double(k, v);
+        else if (k == "ops") { parse_ops(v, f); ops_given = true; }
+        else reject(k);
+      }
+      if (!ops_given) parse_ops("data", f);  // default: reads + writes
+      require(f.probability >= 0.0 && f.probability <= 1.0,
+              "fault plan: probability must be in [0, 1]");
+      plan.transients.push_back(f);
+    } else if (kind == "slow") {
+      OstSlowdown s;
+      for (const auto& [k, v] : kv) {
+        if (k == "factor") s.factor = parse_double(k, v);
+        else if (k == "from") s.from = parse_duration(k, v);
+        else if (k == "to") s.to = parse_duration(k, v);
+        else if (k == "ost") s.ost = static_cast<int>(parse_int(k, v));
+        else reject(k);
+      }
+      require(s.factor >= 1.0, "fault plan: slow factor must be >= 1");
+      plan.slowdowns.push_back(s);
+    } else if (kind == "vis") {
+      VisibilitySpike s;
+      for (const auto& [k, v] : kv) {
+        if (k == "extra") s.extra = parse_duration(k, v);
+        else if (k == "from") s.from = parse_duration(k, v);
+        else if (k == "to") s.to = parse_duration(k, v);
+        else reject(k);
+      }
+      require(s.extra >= 0, "fault plan: vis extra must be >= 0");
+      plan.spikes.push_back(s);
+    } else if (kind == "drop") {
+      MpiDrop d;
+      for (const auto& [k, v] : kv) {
+        if (k == "p") d.probability = parse_double(k, v);
+        else if (k == "timeout") d.retransmit = parse_duration(k, v);
+        else reject(k);
+      }
+      require(d.probability >= 0.0 && d.probability <= 1.0,
+              "fault plan: probability must be in [0, 1]");
+      plan.drops.push_back(d);
+    } else if (kind == "crash") {
+      CrashEvent c;
+      for (const auto& [k, v] : kv) {
+        if (k == "rank") c.rank = static_cast<Rank>(parse_int(k, v));
+        else if (k == "node") c.node = static_cast<int>(parse_int(k, v));
+        else if (k == "t") c.t = parse_duration(k, v);
+        else reject(k);
+      }
+      require((c.rank != kNoRank) != (c.node >= 0),
+              "fault plan: crash needs exactly one of rank= or node=");
+      require(c.t >= 0, "fault plan: crash time must be >= 0");
+      plan.crashes.push_back(c);
+    } else {
+      require(false, "fault plan: unknown clause kind '" + kind + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace pfsem::fault

@@ -4,11 +4,16 @@
 // façade holds one of these by value (it is a bundle of non-owning
 // pointers; the driver owns the underlying objects).
 
+#include "pfsem/iolib/retry.hpp"
 #include "pfsem/mpi/world.hpp"
 #include "pfsem/sim/engine.hpp"
 #include "pfsem/trace/collector.hpp"
 #include "pfsem/vfs/filesystem.hpp"
 #include "pfsem/vfs/pfs.hpp"
+
+namespace pfsem::fault {
+class Injector;
+}  // namespace pfsem::fault
 
 namespace pfsem::iolib {
 
@@ -17,6 +22,9 @@ struct IoContext {
   mpi::World* world = nullptr;
   vfs::FileSystem* pfs = nullptr;
   trace::Collector* collector = nullptr;
+  /// Optional fault wiring (nullptr / default policy = fault-free run).
+  fault::Injector* injector = nullptr;
+  RetryPolicy retry = {};
 
   [[nodiscard]] bool valid() const {
     return engine && world && pfs && collector;

@@ -27,6 +27,13 @@ class PosixIo {
  public:
   PosixIo(IoContext ctx, trace::Layer origin = trace::Layer::App);
 
+  // Fault behaviour: when the context carries a fault::Injector, every
+  // operation checks the caller for a fail-stop crash at entry (throwing
+  // sim::TaskKilled) and re-issues attempts that fail with a retryable
+  // simulated errno per ctx.retry, backing off in simulated time. An
+  // exhausted budget or a non-retryable errno (e.g. EROFS from writing a
+  // laminated file) throws pfsem::Error.
+
   /// Returns the new fd. Throws on simulated failure (missing file).
   sim::Task<int> open(Rank r, std::string path, int flags);
   sim::Task<void> close(Rank r, int fd);
@@ -49,9 +56,11 @@ class PosixIo {
   sim::Task<std::int64_t> lstat(Rank r, std::string path);
   sim::Task<std::int64_t> fstat(Rank r, int fd);
   sim::Task<std::int64_t> access(Rank r, std::string path);
-  sim::Task<void> unlink(Rank r, std::string path);
-  sim::Task<void> mkdir(Rank r, std::string path);
-  sim::Task<void> rename(Rank r, std::string from, std::string to);
+  /// Namespace edits return the simulated 0/-1 result so callers can react
+  /// (a missing target is information, not noise — see apps/).
+  sim::Task<std::int64_t> unlink(Rank r, std::string path);
+  sim::Task<std::int64_t> mkdir(Rank r, std::string path);
+  sim::Task<std::int64_t> rename(Rank r, std::string from, std::string to);
   sim::Task<void> getcwd(Rank r);
   sim::Task<void> umask(Rank r);
   sim::Task<void> fcntl(Rank r, int fd);
@@ -69,6 +78,8 @@ class PosixIo {
  private:
   sim::Task<void> meta_call(Rank r, trace::Func f, std::string path,
                             SimDuration cost, std::int64_t ret);
+  /// Fail-stop boundary check: throws sim::TaskKilled for a crashed rank.
+  void check_alive(Rank r) const;
   void emit(Rank r, trace::Func f, SimTime t0, SimTime t1, int fd,
             std::int64_t ret, Offset off, std::uint64_t count, int flags,
             std::string path);

@@ -1,0 +1,41 @@
+#pragma once
+// I/O retry policy for transient environment faults (pfsem::fault).
+//
+// The POSIX façade re-issues an operation whose result carries a retryable
+// simulated errno, waiting an exponentially growing backoff in *simulated*
+// time between attempts. Semantic failures (err == 0, e.g. opening a
+// missing file) are modelled behaviour and are never retried; a
+// non-retryable errno or an exhausted budget surfaces as a pfsem::Error
+// ("gave up"), which the degraded-mode report counts.
+
+#include <algorithm>
+#include <vector>
+
+#include "pfsem/fault/plan.hpp"
+#include "pfsem/util/types.hpp"
+
+namespace pfsem::iolib {
+
+struct RetryPolicy {
+  /// Total attempts per operation (1 = fail on the first error).
+  int max_attempts = 1;
+  /// Backoff before the first retry; each further retry multiplies it.
+  SimDuration backoff = 200'000;  // 200 us
+  double multiplier = 2.0;
+  /// Simulated errnos worth retrying; everything else fails immediately.
+  std::vector<int> retryable = {fault::kEio, fault::kEnospc};
+
+  [[nodiscard]] bool is_retryable(int err) const {
+    return std::find(retryable.begin(), retryable.end(), err) !=
+           retryable.end();
+  }
+  /// Backoff before retry number `attempt` (1-based: the retry after the
+  /// first failed attempt waits backoff_for(1) == backoff).
+  [[nodiscard]] SimDuration backoff_for(int attempt) const {
+    double d = static_cast<double>(backoff);
+    for (int i = 1; i < attempt; ++i) d *= multiplier;
+    return static_cast<SimDuration>(d);
+  }
+};
+
+}  // namespace pfsem::iolib

@@ -1,13 +1,59 @@
 #include "pfsem/iolib/posix_io.hpp"
 
+#include <string>
+
+#include "pfsem/fault/injector.hpp"
 #include "pfsem/util/error.hpp"
 
 namespace pfsem::iolib {
+
+namespace {
+
+/// Fail-stop boundary check shared by every façade entry point.
+void check_crash(const IoContext& ctx, Rank r) {
+  if (ctx.injector != nullptr && ctx.injector->crashed(r)) {
+    throw sim::TaskKilled(r);
+  }
+}
+
+/// Issue `op` (a callable taking the current simulated time and returning
+/// a vfs result struct), awaiting its cost; while the result carries a
+/// retryable simulated errno, back off in simulated time and re-issue.
+/// Exhausting the budget — or a non-retryable errno such as EROFS from a
+/// laminated file — throws pfsem::Error; the degraded-mode stats count it
+/// as a give-up. Retries are invisible to callers: the returned result is
+/// the first successful attempt's.
+template <class Op>
+auto with_retry(IoContext& ctx, Rank r, Op op)
+    -> sim::Task<decltype(op(SimTime{}))> {
+  check_crash(ctx, r);
+  auto res = op(ctx.engine->now());
+  co_await ctx.engine->delay(res.cost);
+  for (int attempt = 1; res.err != 0; ++attempt) {
+    if (!ctx.retry.is_retryable(res.err) ||
+        attempt >= ctx.retry.max_attempts) {
+      if (ctx.injector != nullptr) ctx.injector->note_giveup();
+      throw Error("simulated I/O failed permanently after " +
+                  std::to_string(attempt) +
+                  " attempt(s): " + fault::errno_name(res.err));
+    }
+    if (ctx.injector != nullptr) ctx.injector->note_retry();
+    co_await ctx.engine->delay(ctx.retry.backoff_for(attempt));
+    check_crash(ctx, r);
+    res = op(ctx.engine->now());
+    co_await ctx.engine->delay(res.cost);
+  }
+  co_return res;
+}
+
+}  // namespace
 
 PosixIo::PosixIo(IoContext ctx, trace::Layer origin)
     : ctx_(ctx), origin_(origin) {
   require(ctx_.valid(), "PosixIo needs a fully-wired IoContext");
 }
+
+void PosixIo::check_alive(Rank r) const { check_crash(ctx_, r); }
 
 void PosixIo::emit(Rank r, trace::Func f, SimTime t0, SimTime t1, int fd,
                    std::int64_t ret, Offset off, std::uint64_t count, int flags,
@@ -36,9 +82,10 @@ const std::string& PosixIo::path_of(Rank r, int fd) const {
 
 sim::Task<int> PosixIo::open(Rank r, std::string path, int flags) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->open(r, path, flags, t0);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->open(r, path, flags, now);
+  });
   require(res.fd >= 0, "simulated open failed: " + path);
-  co_await ctx_.engine->delay(res.cost);
   fd_paths_[{r, res.fd}] = path;
   emit(r, trace::Func::open, t0, ctx_.engine->now(), res.fd, res.fd, 0, 0,
        flags, std::move(path));
@@ -46,6 +93,7 @@ sim::Task<int> PosixIo::open(Rank r, std::string path, int flags) {
 }
 
 sim::Task<void> PosixIo::close(Rank r, int fd) {
+  check_alive(r);
   const SimTime t0 = ctx_.engine->now();
   std::string path = path_of(r, fd);
   auto res = ctx_.pfs->close(r, fd, t0);
@@ -57,8 +105,9 @@ sim::Task<void> PosixIo::close(Rank r, int fd) {
 
 sim::Task<std::uint64_t> PosixIo::write(Rank r, int fd, std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->write(r, fd, count, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->write(r, fd, count, now);
+  });
   // res.offset is ground truth for validating offset reconstruction only.
   emit(r, trace::Func::write, t0, ctx_.engine->now(), fd,
        static_cast<std::int64_t>(count), res.offset, count, 0, path_of(r, fd));
@@ -67,8 +116,9 @@ sim::Task<std::uint64_t> PosixIo::write(Rank r, int fd, std::uint64_t count) {
 
 sim::Task<std::uint64_t> PosixIo::read(Rank r, int fd, std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->read(r, fd, count, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->read(r, fd, count, now);
+  });
   last_read_ = res.extents;
   emit(r, trace::Func::read, t0, ctx_.engine->now(), fd,
        static_cast<std::int64_t>(res.bytes), res.offset, count, 0,
@@ -79,8 +129,10 @@ sim::Task<std::uint64_t> PosixIo::read(Rank r, int fd, std::uint64_t count) {
 sim::Task<std::uint64_t> PosixIo::pwrite(Rank r, int fd, Offset off,
                                          std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->pwrite(r, fd, off, count, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->pwrite(r, fd, off, count, now);
+  });
+  (void)res;
   emit(r, trace::Func::pwrite, t0, ctx_.engine->now(), fd,
        static_cast<std::int64_t>(count), off, count, 0, path_of(r, fd));
   co_return count;
@@ -89,8 +141,9 @@ sim::Task<std::uint64_t> PosixIo::pwrite(Rank r, int fd, Offset off,
 sim::Task<std::uint64_t> PosixIo::pread(Rank r, int fd, Offset off,
                                         std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->pread(r, fd, off, count, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->pread(r, fd, off, count, now);
+  });
   last_read_ = res.extents;
   emit(r, trace::Func::pread, t0, ctx_.engine->now(), fd,
        static_cast<std::int64_t>(res.bytes), off, count, 0, path_of(r, fd));
@@ -99,6 +152,7 @@ sim::Task<std::uint64_t> PosixIo::pread(Rank r, int fd, Offset off,
 
 sim::Task<std::int64_t> PosixIo::lseek(Rank r, int fd, std::int64_t offset,
                                        int whence) {
+  check_alive(r);
   const SimTime t0 = ctx_.engine->now();
   auto res = ctx_.pfs->lseek(r, fd, offset, whence, t0);
   require(res.ret >= 0, "simulated lseek failed");
@@ -110,30 +164,34 @@ sim::Task<std::int64_t> PosixIo::lseek(Rank r, int fd, std::int64_t offset,
 
 sim::Task<void> PosixIo::fsync(Rank r, int fd) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->fsync(r, fd, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->fsync(r, fd, now);
+  });
   emit(r, trace::Func::fsync, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
        path_of(r, fd));
 }
 
 sim::Task<void> PosixIo::fdatasync(Rank r, int fd) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->fsync(r, fd, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->fsync(r, fd, now);
+  });
   emit(r, trace::Func::fdatasync, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
        path_of(r, fd));
 }
 
 sim::Task<void> PosixIo::ftruncate(Rank r, int fd, Offset length) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->ftruncate(r, fd, length, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->ftruncate(r, fd, length, now);
+  });
   emit(r, trace::Func::ftruncate, t0, ctx_.engine->now(), fd, res.ret, length,
        0, 0, path_of(r, fd));
 }
 
 sim::Task<void> PosixIo::meta_call(Rank r, trace::Func f, std::string path,
                                    SimDuration cost, std::int64_t ret) {
+  check_alive(r);
   const SimTime t0 = ctx_.engine->now();
   co_await ctx_.engine->delay(cost);
   emit(r, f, t0, ctx_.engine->now(), -1, ret, 0, 0, 0, std::move(path));
@@ -141,8 +199,9 @@ sim::Task<void> PosixIo::meta_call(Rank r, trace::Func f, std::string path,
 
 sim::Task<std::int64_t> PosixIo::stat(Rank r, std::string path) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->stat(path, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->stat(path, now);
+  });
   emit(r, trace::Func::stat, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
        std::move(path));
   co_return res.ret;
@@ -150,8 +209,9 @@ sim::Task<std::int64_t> PosixIo::stat(Rank r, std::string path) {
 
 sim::Task<std::int64_t> PosixIo::lstat(Rank r, std::string path) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->stat(path, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->stat(path, now);
+  });
   emit(r, trace::Func::lstat, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
        std::move(path));
   co_return res.ret;
@@ -160,8 +220,9 @@ sim::Task<std::int64_t> PosixIo::lstat(Rank r, std::string path) {
 sim::Task<std::int64_t> PosixIo::fstat(Rank r, int fd) {
   const SimTime t0 = ctx_.engine->now();
   std::string path = path_of(r, fd);
-  auto res = ctx_.pfs->stat(path, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->stat(path, now);
+  });
   emit(r, trace::Func::fstat, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
        std::move(path));
   co_return res.ret;
@@ -169,35 +230,43 @@ sim::Task<std::int64_t> PosixIo::fstat(Rank r, int fd) {
 
 sim::Task<std::int64_t> PosixIo::access(Rank r, std::string path) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->access(path, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->access(path, now);
+  });
   emit(r, trace::Func::access, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
        std::move(path));
   co_return res.ret;
 }
 
-sim::Task<void> PosixIo::unlink(Rank r, std::string path) {
+sim::Task<std::int64_t> PosixIo::unlink(Rank r, std::string path) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->unlink(path, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->unlink(path, now);
+  });
   emit(r, trace::Func::unlink, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
        std::move(path));
+  co_return res.ret;
 }
 
-sim::Task<void> PosixIo::mkdir(Rank r, std::string path) {
+sim::Task<std::int64_t> PosixIo::mkdir(Rank r, std::string path) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->mkdir(path, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->mkdir(path, now);
+  });
   emit(r, trace::Func::mkdir, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
        std::move(path));
+  co_return res.ret;
 }
 
-sim::Task<void> PosixIo::rename(Rank r, std::string from, std::string to) {
+sim::Task<std::int64_t> PosixIo::rename(Rank r, std::string from,
+                                        std::string to) {
   const SimTime t0 = ctx_.engine->now();
-  auto res = ctx_.pfs->rename(from, to, t0);
-  co_await ctx_.engine->delay(res.cost);
+  auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
+    return ctx_.pfs->rename(from, to, now);
+  });
   emit(r, trace::Func::rename, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
        from + " -> " + to);
+  co_return res.ret;
 }
 
 sim::Task<void> PosixIo::getcwd(Rank r) {

@@ -24,6 +24,10 @@
 #include "pfsem/trace/collector.hpp"
 #include "pfsem/util/rng.hpp"
 
+namespace pfsem::fault {
+class Injector;
+}  // namespace pfsem::fault
+
 namespace pfsem::mpi {
 
 /// Sorted set of participating ranks in a collective.
@@ -65,6 +69,11 @@ class World {
   /// Group containing every rank.
   [[nodiscard]] const Group& all() const { return all_; }
 
+  /// Attach a fault injector (nullptr detaches; not owned). Messages may
+  /// then be dropped-and-retransmitted (extra delivery delay), and any
+  /// operation entered by a crashed rank throws sim::TaskKilled.
+  void set_fault_injector(fault::Injector* injector) { injector_ = injector; }
+
   // --- point-to-point -------------------------------------------------
   /// Blocking send; completes once the message is delivered (rendezvous).
   [[nodiscard]] sim::Task<void> send(Rank from, Rank to, int tag,
@@ -102,6 +111,8 @@ class World {
                                      std::uint64_t bytes, SimTime t_enter);
   void complete_collective(const Group& group, PendingCollective& p);
   [[nodiscard]] SimDuration transfer_time(std::uint64_t bytes) const;
+  /// Fail-stop check at an operation boundary: a crashed rank unwinds.
+  void check_alive(Rank r) const;
 
   sim::Engine* engine_;
   trace::Collector* collector_;
@@ -110,6 +121,7 @@ class World {
   Rng rng_;
   std::map<Group, std::deque<std::unique_ptr<PendingCollective>>> pending_;
   std::map<std::tuple<Rank, Rank, int>, std::unique_ptr<Mailbox>> mailboxes_;
+  fault::Injector* injector_ = nullptr;  ///< not owned; nullptr = no faults
 };
 
 }  // namespace pfsem::mpi

@@ -4,6 +4,7 @@
 #include <bit>
 #include <coroutine>
 
+#include "pfsem/fault/injector.hpp"
 #include "pfsem/util/error.hpp"
 
 namespace pfsem::mpi {
@@ -62,11 +63,25 @@ SimDuration World::transfer_time(std::uint64_t bytes) const {
   return static_cast<SimDuration>(static_cast<double>(bytes) / cfg_.net_bytes_per_ns);
 }
 
+void World::check_alive(Rank r) const {
+  if (injector_ != nullptr && injector_->crashed(r)) throw sim::TaskKilled(r);
+}
+
 // ---------------------------------------------------------------------
 // point-to-point
 
 sim::Task<void> World::send(Rank from, Rank to, int tag, std::uint64_t bytes) {
   require(from != to, "self-send is not supported");
+  check_alive(from);
+  if (injector_ != nullptr) {
+    // Dropped message: the sender times out and retransmits, which shows
+    // up as extra latency before the (reliable) protocol below runs.
+    const SimDuration drop = injector_->mpi_delay(from, to, engine_->now());
+    if (drop > 0) {
+      co_await engine_->delay(drop);
+      check_alive(from);
+    }
+  }
   auto key = std::tuple{from, to, tag};
   auto& slot = mailboxes_[key];
   if (!slot) slot = std::make_unique<Mailbox>();
@@ -112,6 +127,7 @@ sim::Task<void> World::send(Rank from, Rank to, int tag, std::uint64_t bytes) {
 }
 
 sim::Task<std::uint64_t> World::recv(Rank me, Rank from, int tag) {
+  check_alive(me);
   auto key = std::tuple{from, me, tag};
   auto& slot = mailboxes_[key];
   if (!slot) slot = std::make_unique<Mailbox>();
@@ -206,6 +222,7 @@ void World::complete_collective(const Group& group, PendingCollective& p) {
 
 sim::Task<void> World::collective(Rank me, trace::CollectiveKind kind, Rank root,
                                   std::uint64_t bytes, const Group& group) {
+  check_alive(me);
   const SimTime t_enter = engine_->now();
   PendingCollective& p = join_collective(group, me, kind, root, bytes, t_enter);
   if (p.arrivals.size() == group.size()) {

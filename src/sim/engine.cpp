@@ -9,21 +9,28 @@ void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
   queue_.push(Event{t, next_seq_++, h});
 }
 
-Engine::Detached Engine::run_root(Task<void> task) {
+Engine::Detached Engine::run_root(Task<void> task, int label) {
   // Hold the task in this frame so its coroutine outlives every suspension.
   ++live_roots_;
+  live_labels_.insert(label);
   try {
     co_await delay(0);  // defer the program body to the event loop
     co_await std::move(task);
+  } catch (const TaskKilled&) {
+    // Fail-stop crash: the task unwound cleanly (its nested coroutine
+    // frames are destroyed by normal exception propagation); the run
+    // itself is healthy and continues.
+    ++killed_roots_;
   } catch (...) {
     if (!first_error_) first_error_ = std::current_exception();
   }
   --live_roots_;
+  live_labels_.erase(live_labels_.find(label));
 }
 
-void Engine::spawn(Task<void> task) {
+void Engine::spawn(Task<void> task, int label) {
   require(task.valid(), "spawn() needs a valid task");
-  run_root(std::move(task));
+  run_root(std::move(task), label);
 }
 
 void Engine::run() {
@@ -42,9 +49,21 @@ void Engine::run() {
     first_error_ = nullptr;
     std::rethrow_exception(err);
   }
-  require(live_roots_ == 0,
-          "simulation deadlock: event queue drained with " +
-              std::to_string(live_roots_) + " root task(s) still blocked");
+  if (live_roots_ != 0) {
+    // Name the blocked roots (labelled spawns carry the rank id) and the
+    // simulated time — fault-induced deadlocks are hard to debug blind.
+    std::string ids;
+    for (const int label : live_labels_) {
+      if (label < 0) continue;
+      if (!ids.empty()) ids += ", ";
+      ids += std::to_string(label);
+    }
+    throw Error("simulation deadlock at t=" + std::to_string(now_) +
+                " ns: event queue drained with " + std::to_string(live_roots_) +
+                " root task(s) still blocked" +
+                (ids.empty() ? std::string{}
+                             : " (blocked ranks: " + ids + ")"));
+  }
 }
 
 }  // namespace pfsem::sim

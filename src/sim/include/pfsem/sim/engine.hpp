@@ -11,12 +11,29 @@
 #include <cstdint>
 #include <exception>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "pfsem/sim/task.hpp"
 #include "pfsem/util/types.hpp"
 
 namespace pfsem::sim {
+
+/// Thrown inside a root task to terminate it cleanly (fail-stop crash
+/// injection: pfsem::fault). The engine absorbs it — the root unwinds,
+/// counts as killed rather than failed, and the simulation continues.
+class TaskKilled : public std::exception {
+ public:
+  explicit TaskKilled(int label = -1) : label_(label) {}
+  /// The spawn() label (the harness passes the rank) of the killed task.
+  [[nodiscard]] int label() const noexcept { return label_; }
+  [[nodiscard]] const char* what() const noexcept override {
+    return "simulated task killed (fail-stop crash)";
+  }
+
+ private:
+  int label_;
+};
 
 class Engine {
  public:
@@ -47,16 +64,23 @@ class Engine {
   }
 
   /// Launch a root task (e.g. one simulated rank's program). The engine
-  /// owns it; it starts when run() reaches time 0.
-  void spawn(Task<void> task);
+  /// owns it; it starts when run() reaches time 0. `label` identifies the
+  /// task in deadlock diagnostics (the harness passes the rank; -1 =
+  /// anonymous, omitted from messages).
+  void spawn(Task<void> task, int label = -1);
 
   /// Run until the event queue drains. Throws the first unhandled exception
   /// from any root task, or pfsem::Error if roots are still blocked when the
-  /// queue empties (deadlock, e.g. a barrier some rank never reaches).
+  /// queue empties (deadlock, e.g. a barrier some rank never reaches); the
+  /// deadlock message lists the blocked ranks' labels and the simulated
+  /// time. A root that exits via TaskKilled is absorbed (see killed_roots).
   void run();
 
   /// Number of root tasks that have not yet finished.
   [[nodiscard]] int live_roots() const { return live_roots_; }
+
+  /// Number of root tasks terminated by TaskKilled (fail-stop crashes).
+  [[nodiscard]] int killed_roots() const { return killed_roots_; }
 
   /// Total events dispatched so far (for tests/benches).
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
@@ -81,13 +105,15 @@ class Engine {
       void unhandled_exception() noexcept { std::terminate(); }  // run_root catches
     };
   };
-  Detached run_root(Task<void> task);
+  Detached run_root(Task<void> task, int label);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   int live_roots_ = 0;
+  int killed_roots_ = 0;
+  std::multiset<int> live_labels_;
   std::exception_ptr first_error_;
 };
 

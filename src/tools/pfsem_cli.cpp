@@ -14,6 +14,10 @@
 //   --ranks N        MPI ranks (default 64)
 //   --skew NS        max injected clock skew in ns (default 0)
 //   --seed S         workload seed
+//   --faults SPEC    fault plan (see docs/faults.md), e.g.
+//                    "eio:p=0.01,ops=write;crash:rank=3,t=2ms"
+//   --fault-seed S   fault-injection seed (default 1)
+//   --retries N      I/O retries per op after the first attempt (default 0)
 
 #include <cstring>
 #include <fstream>
@@ -45,12 +49,19 @@ struct Options {
   std::uint64_t seed = 42;
   bool strict = false;   // remedy: include same-process conflicts
   bool compact = false;  // trace: write the compact format
+  std::string faults;    // fault plan spec ("" = fault-free)
+  std::uint64_t fault_seed = 1;
+  int retries = 0;  // retries per op after the first attempt
+  // Filled by obtain() when the run executed under fault injection.
+  bool ran_faults = false;
+  fault::FaultStats fault_stats;
 };
 
 int usage() {
   std::cerr << "usage: pfsem <list|run|trace|analyze|advise|tune> [args]\n"
                "  pfsem list\n"
                "  pfsem run <config> [--ranks N] [--skew NS] [--seed S]\n"
+               "            [--faults SPEC] [--fault-seed S] [--retries N]\n"
                "  pfsem trace <config> <out.trc> [--compact] [options]\n"
                "  pfsem analyze <trace.trc>\n"
                "  pfsem report <config|trace.trc> [options]\n"
@@ -73,13 +84,16 @@ Options parse_options(int argc, char** argv, int first) {
     else if (a == "--seed") opt.seed = std::stoull(next());
     else if (a == "--strict") opt.strict = true;
     else if (a == "--compact") opt.compact = true;
+    else if (a == "--faults") opt.faults = next();
+    else if (a == "--fault-seed") opt.fault_seed = std::stoull(next());
+    else if (a == "--retries") opt.retries = std::stoi(next());
     else throw Error("unknown option " + a);
   }
   return opt;
 }
 
 /// Obtain a trace either by simulating a named config or loading a file.
-trace::TraceBundle obtain(const std::string& what, const Options& opt) {
+trace::TraceBundle obtain(const std::string& what, Options& opt) {
   if (const auto* info = apps::find_app(what)) {
     apps::AppConfig cfg;
     cfg.nranks = opt.ranks;
@@ -88,8 +102,20 @@ trace::TraceBundle obtain(const std::string& what, const Options& opt) {
     auto clocks = opt.skew > 0
                       ? sim::make_skewed_clocks(opt.ranks, opt.skew, 100.0, opt.seed)
                       : std::vector<sim::ClockModel>{};
+    if (!opt.faults.empty()) {
+      apps::FaultSetup setup;
+      setup.plan = fault::FaultPlan::parse(opt.faults);
+      setup.seed = opt.fault_seed;
+      setup.retry.max_attempts = opt.retries + 1;
+      auto bundle = apps::run_app(*info, cfg, {}, std::move(clocks), &setup,
+                                  &opt.fault_stats);
+      opt.ran_faults = true;
+      return bundle;
+    }
     return apps::run_app(*info, cfg, {}, std::move(clocks));
   }
+  require(opt.faults.empty(),
+          "--faults needs a named config to simulate, not a saved trace");
   std::ifstream is(what, std::ios::binary);
   if (!is) throw Error("'" + what + "' is neither a known config nor a readable trace file");
   // Auto-detect the format by magic.
@@ -169,11 +195,17 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "run" && argc >= 3) {
-      print_report(obtain(argv[2], parse_options(argc, argv, 3)));
+      auto opt = parse_options(argc, argv, 3);
+      print_report(obtain(argv[2], opt));
+      if (opt.ran_faults) {
+        std::cout << "\n";
+        core::print_degraded(apps::degraded_summary(opt.fault_stats),
+                             std::cout);
+      }
       return 0;
     }
     if (cmd == "trace" && argc >= 4) {
-      const auto opt = parse_options(argc, argv, 4);
+      auto opt = parse_options(argc, argv, 4);
       const auto bundle = obtain(argv[2], opt);
       std::ofstream os(argv[3], std::ios::binary);
       if (opt.compact) {
@@ -184,21 +216,32 @@ int main(int argc, char** argv) {
       if (!os) throw Error(std::string("cannot write ") + argv[3]);
       std::cout << "wrote " << bundle.records.size() << " records to "
                 << argv[3] << "\n";
+      if (opt.ran_faults) {
+        core::print_degraded(apps::degraded_summary(opt.fault_stats),
+                             std::cout);
+      }
       return 0;
     }
     if (cmd == "analyze" && argc >= 3) {
-      print_report(obtain(argv[2], Options{}));
+      Options opt;
+      print_report(obtain(argv[2], opt));
       return 0;
     }
     if (cmd == "report" && argc >= 3) {
-      const auto bundle = obtain(argv[2], parse_options(argc, argv, 3));
+      auto opt = parse_options(argc, argv, 3);
+      const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
       const auto conflicts = core::detect_conflicts(log);
-      core::print_report(core::build_report(bundle, log, conflicts), std::cout);
+      auto rep = core::build_report(bundle, log, conflicts);
+      if (opt.ran_faults) {
+        rep.degraded = apps::degraded_summary(opt.fault_stats);
+      }
+      core::print_report(rep, std::cout);
       return 0;
     }
     if (cmd == "advise" && argc >= 3) {
-      const auto bundle = obtain(argv[2], parse_options(argc, argv, 3));
+      auto opt = parse_options(argc, argv, 3);
+      const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
       const auto report = core::detect_conflicts(log);
       core::HappensBefore hb(bundle.comm, bundle.nranks);
@@ -208,11 +251,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "tune" && argc >= 3) {
-      print_tuning(obtain(argv[2], parse_options(argc, argv, 3)));
+      auto opt = parse_options(argc, argv, 3);
+      print_tuning(obtain(argv[2], opt));
       return 0;
     }
     if (cmd == "remedy" && argc >= 3) {
-      const auto opt = parse_options(argc, argv, 3);
+      auto opt = parse_options(argc, argv, 3);
       const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
       const core::RemedyOptions ropt{.strict = opt.strict};

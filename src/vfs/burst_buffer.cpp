@@ -43,6 +43,10 @@ MetaResult BurstBufferPfs::close(Rank r, int fd, SimTime now) {
 WriteResult BurstBufferPfs::write(Rank r, int fd, std::uint64_t count,
                                   SimTime now) {
   auto res = inner_->write(r, fd, count, now);
+  if (res.err != 0) {  // failed attempt: device latency, no bytes landed
+    res.cost = cfg_.local_latency;
+    return res;
+  }
   ++stats_.local_writes;
   stats_.local_bytes += count;
   res.cost = local_transfer(count);
@@ -52,6 +56,10 @@ WriteResult BurstBufferPfs::write(Rank r, int fd, std::uint64_t count,
 WriteResult BurstBufferPfs::pwrite(Rank r, int fd, Offset off,
                                    std::uint64_t count, SimTime now) {
   auto res = inner_->pwrite(r, fd, off, count, now);
+  if (res.err != 0) {
+    res.cost = cfg_.local_latency;
+    return res;
+  }
   ++stats_.local_writes;
   stats_.local_bytes += count;
   res.cost = local_transfer(count);
@@ -61,6 +69,10 @@ WriteResult BurstBufferPfs::pwrite(Rank r, int fd, Offset off,
 ReadResult BurstBufferPfs::read(Rank r, int fd, std::uint64_t count,
                                 SimTime now) {
   auto res = inner_->read(r, fd, count, now);
+  if (res.err != 0) {
+    res.cost = cfg_.local_latency;
+    return res;
+  }
   // Price by data placement: bytes written on the reader's node (or
   // preloaded everywhere) are local; others cross the interconnect.
   std::uint64_t local = 0, remote = 0;
@@ -85,6 +97,10 @@ ReadResult BurstBufferPfs::read(Rank r, int fd, std::uint64_t count,
 ReadResult BurstBufferPfs::pread(Rank r, int fd, Offset off,
                                  std::uint64_t count, SimTime now) {
   auto res = inner_->pread(r, fd, off, count, now);
+  if (res.err != 0) {
+    res.cost = cfg_.local_latency;
+    return res;
+  }
   std::uint64_t local = 0, remote = 0;
   for (const auto& e : res.extents) {
     if (e.writer != kNoRank && node_of(e.writer) != node_of(r)) {
@@ -111,8 +127,8 @@ MetaResult BurstBufferPfs::lseek(Rank r, int fd, std::int64_t delta, int whence,
 
 MetaResult BurstBufferPfs::fsync(Rank r, int fd, SimTime now) {
   auto res = inner_->fsync(r, fd, now);
-  ++stats_.index_publishes;
-  res.cost = cfg_.index_publish_latency;
+  res.cost = cfg_.index_publish_latency;  // the failed round trip still costs
+  if (res.err == 0) ++stats_.index_publishes;
   return res;
 }
 

@@ -87,6 +87,16 @@ class BurstBufferPfs final : public FileSystem {
   void preload(const std::string& path, Offset size) override {
     inner_->preload(path, size);
   }
+  /// Faults are injected by the inner store (shared visibility bookkeeping);
+  /// this backend only skips its placement stats on failed attempts.
+  void set_fault_injector(fault::Injector* injector) override {
+    inner_->set_fault_injector(injector);
+  }
+  /// Crash durability is the inner commit model's: node-local writes not
+  /// yet published to the index die with the process.
+  std::vector<VersionTag> crash_rank(Rank r, SimTime now) override {
+    return inner_->crash_rank(r, now);
+  }
   /// Lamination: publish + freeze (Section 3.2).
   MetaResult laminate(const std::string& path, SimTime now);
 

@@ -7,8 +7,13 @@
 // advances the clock by.
 
 #include <string>
+#include <vector>
 
 #include "pfsem/vfs/pfs_types.hpp"
+
+namespace pfsem::fault {
+class Injector;
+}  // namespace pfsem::fault
 
 namespace pfsem::vfs {
 
@@ -40,6 +45,17 @@ class FileSystem {
   /// Stage pre-existing ("genesis") input data, visible to every process
   /// under every model, with no trace records and no conflicts.
   virtual void preload(const std::string& path, Offset size) = 0;
+
+  /// Attach a fault injector (nullptr detaches). The injector may fail or
+  /// delay any subsequent operation; the file system does not own it.
+  virtual void set_fault_injector(fault::Injector* injector) = 0;
+
+  /// Fail-stop crash of rank `r` at time `now`: discard every write by `r`
+  /// that is not yet durable under the active consistency model (laminated
+  /// files always survive), drop its open descriptors *without* the
+  /// close-time commit/publish, and release its locks. Returns the version
+  /// tags of the writes that were lost.
+  virtual std::vector<VersionTag> crash_rank(Rank r, SimTime now) = 0;
 
   /// Metadata round-trip latency (used by the POSIX facade for utility
   /// calls with no data movement).

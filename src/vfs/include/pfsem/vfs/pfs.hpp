@@ -82,6 +82,10 @@ class Pfs final : public FileSystem {
   /// Emits no trace records and no conflicts.
   void preload(const std::string& path, Offset size) override;
 
+  // --- fault injection (pfsem::fault) ------------------------------------
+  void set_fault_injector(fault::Injector* injector) override;
+  std::vector<VersionTag> crash_rank(Rank r, SimTime now) override;
+
   // --- introspection (tests & benches) ----------------------------------
   [[nodiscard]] bool exists(const std::string& path) const;
   [[nodiscard]] Offset file_size(const std::string& path) const;
@@ -101,7 +105,11 @@ class Pfs final : public FileSystem {
   std::shared_ptr<File> lookup(const std::string& path) const;
   SimDuration charge_locks(File& f, Rank r, Extent ext, bool exclusive);
   /// Transfer cost of `ext` across the striped OSTs (updates ost_stats).
-  SimDuration charge_transfer(Extent ext);
+  /// An active OST slowdown (fault injection) stretches the affected
+  /// per-OST transfer times.
+  SimDuration charge_transfer(Extent ext, SimTime now);
+  /// Injected errno for one operation (0 when no injector / no fault).
+  int inject(int op_class, Rank r, SimTime now);
   std::vector<ReadExtent> resolve(const File& f, Rank r, SimTime now,
                                   SimTime session_open, Offset off,
                                   std::uint64_t count) const;
@@ -114,6 +122,7 @@ class Pfs final : public FileSystem {
   VersionTag next_version_ = 1;
   LockStats locks_;
   OstStats osts_;
+  fault::Injector* injector_ = nullptr;  ///< not owned; nullptr = no faults
 };
 
 }  // namespace pfsem::vfs

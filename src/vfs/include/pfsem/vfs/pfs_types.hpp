@@ -58,24 +58,34 @@ struct ReadExtent {
   Rank writer = kNoRank;
 };
 
+// Every result carries `err`, a simulated environment errno (values from
+// pfsem/fault/plan.hpp; 0 = none). `err != 0` marks a *transient
+// environment fault* (injected EIO/ENOSPC, laminated-file EROFS) that the
+// iolib retry policy may absorb; a semantic failure (ret/fd == -1 with
+// err == 0, e.g. opening a missing file) is part of the modelled behaviour
+// and is never retried.
 struct OpenResult {
   int fd = -1;
   SimDuration cost = 0;
+  int err = 0;
 };
 struct WriteResult {
   VersionTag version = 0;
   Offset offset = 0;  ///< where the write landed (relevant for O_APPEND)
   SimDuration cost = 0;
+  int err = 0;
 };
 struct ReadResult {
   std::vector<ReadExtent> extents;
   Offset offset = 0;
   std::uint64_t bytes = 0;  ///< bytes actually read (clipped at EOF)
   SimDuration cost = 0;
+  int err = 0;
 };
 struct MetaResult {
   std::int64_t ret = 0;  ///< 0/-1 success/failure, or a size for stat
   SimDuration cost = 0;
+  int err = 0;
 };
 
 /// Counters for the strong-model lock cost ablation (bench_perf_vfs).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pfsem/fault/injector.hpp"
 #include "pfsem/trace/record.hpp"
 #include "pfsem/util/error.hpp"
 
@@ -157,40 +158,63 @@ SimDuration Pfs::charge_locks(File& f, Rank r, Extent ext, bool exclusive) {
   return cost;
 }
 
-SimDuration Pfs::charge_transfer(Extent ext) {
+SimDuration Pfs::charge_transfer(Extent ext, SimTime now) {
   if (ext.empty()) return 0;
   const auto n = static_cast<std::size_t>(cfg_.stripe_count);
+  bool slowed = false;
+  // Per-OST transfer time, stretched by any active slowdown window.
+  auto ost_time = [&](std::size_t ost, Offset bytes) {
+    double t = static_cast<double>(bytes) / cfg_.bytes_per_ns;
+    if (injector_ != nullptr) {
+      const double factor = injector_->transfer_factor(static_cast<int>(ost), now);
+      if (factor > 1.0) {
+        t *= factor;
+        slowed = true;
+      }
+    }
+    return static_cast<SimDuration>(t);
+  };
+  SimDuration cost = 0;
   if (n == 1) {
     ++osts_.requests[0];
     osts_.bytes[0] += ext.size();
-    return static_cast<SimDuration>(static_cast<double>(ext.size()) /
-                                    cfg_.bytes_per_ns);
+    cost = ost_time(0, ext.size());
+  } else {
+    // Distribute the extent over the round-robin stripe layout.
+    std::vector<Offset> per_ost(n, 0);
+    Offset pos = ext.begin;
+    while (pos < ext.end) {
+      const Offset stripe_idx = pos / cfg_.stripe_size;
+      const Offset stripe_end = (stripe_idx + 1) * cfg_.stripe_size;
+      const Offset chunk = std::min(ext.end, stripe_end) - pos;
+      per_ost[static_cast<std::size_t>(stripe_idx % n)] += chunk;
+      pos += chunk;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (per_ost[i] == 0) continue;
+      ++osts_.requests[i];
+      osts_.bytes[i] += per_ost[i];
+      cost = std::max(cost, ost_time(i, per_ost[i]));
+    }
   }
-  // Distribute the extent over the round-robin stripe layout.
-  std::vector<Offset> per_ost(n, 0);
-  Offset pos = ext.begin;
-  while (pos < ext.end) {
-    const Offset stripe_idx = pos / cfg_.stripe_size;
-    const Offset stripe_end = (stripe_idx + 1) * cfg_.stripe_size;
-    const Offset chunk = std::min(ext.end, stripe_end) - pos;
-    per_ost[static_cast<std::size_t>(stripe_idx % n)] += chunk;
-    pos += chunk;
-  }
-  Offset worst = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (per_ost[i] == 0) continue;
-    ++osts_.requests[i];
-    osts_.bytes[i] += per_ost[i];
-    worst = std::max(worst, per_ost[i]);
-  }
-  return static_cast<SimDuration>(static_cast<double>(worst) /
-                                  cfg_.bytes_per_ns);
+  if (slowed) injector_->note_slowed_transfer();
+  return cost;
 }
+
+int Pfs::inject(int op_class, Rank r, SimTime now) {
+  if (injector_ == nullptr) return 0;
+  return injector_->on_op(static_cast<fault::OpClass>(op_class), r, now);
+}
+
+void Pfs::set_fault_injector(fault::Injector* injector) { injector_ = injector; }
 
 // ----------------------------------------------------------------------
 // open / close
 
 OpenResult Pfs::open(Rank r, const std::string& path, int flags, SimTime now) {
+  if (const int e = inject(static_cast<int>(fault::OpClass::Meta), r, now)) {
+    return {-1, cfg_.meta_latency, e};
+  }
   ++locks_.meta_ops;
   auto f = lookup(path);
   if (!f) {
@@ -244,7 +268,7 @@ WriteResult Pfs::write(Rank r, int fd, std::uint64_t count, SimTime now) {
   OpenFile& of = *it->second;
   const Offset off = (of.flags & trace::kAppend) ? of.file->size : of.offset;
   WriteResult res = pwrite(r, fd, off, count, now);
-  of.offset = off + count;
+  if (res.err == 0) of.offset = off + count;  // a failed attempt wrote nothing
   return res;
 }
 
@@ -253,7 +277,16 @@ WriteResult Pfs::pwrite(Rank r, int fd, Offset off, std::uint64_t count,
   auto it = open_files_.find({r, fd});
   require(it != open_files_.end(), "pwrite: bad file descriptor");
   File& f = *it->second->file;
-  if (f.laminated) return {0, off, cfg_.data_latency};  // read-only forever
+  if (f.laminated) {
+    // Read-only forever; EROFS is permanent, so retries never absorb it.
+    return {0, off, cfg_.data_latency, fault::kErofs};
+  }
+  // Inject before allocating the version tag: a failed attempt writes
+  // nothing, so a retried run consumes the exact same tags as a fault-free
+  // one (the retry-absorption property the tests assert).
+  if (const int e = inject(static_cast<int>(fault::OpClass::Write), r, now)) {
+    return {0, off, cfg_.data_latency, e};
+  }
   WriteRecord w;
   w.id = next_version_++;
   w.writer = r;
@@ -266,7 +299,11 @@ WriteResult Pfs::pwrite(Rank r, int fd, Offset off, std::uint64_t count,
   f.writes.push_back(w);
   f.index_write(static_cast<std::uint32_t>(f.writes.size() - 1));
   f.size = std::max(f.size, w.ext.end);
-  SimDuration cost = cfg_.data_latency + charge_transfer(w.ext);
+  if (cfg_.model == ConsistencyModel::Eventual && injector_ != nullptr &&
+      injector_->visibility_extra(now) > 0) {
+    injector_->note_delayed_write();
+  }
+  SimDuration cost = cfg_.data_latency + charge_transfer(w.ext, now);
   cost += charge_locks(f, r, w.ext, /*exclusive=*/true);
   return {w.id, off, cost};
 }
@@ -288,11 +325,16 @@ ReadResult Pfs::pread(Rank r, int fd, Offset off, std::uint64_t count,
   File& f = *of.file;
   ReadResult res;
   res.offset = off;
+  if (const int e = inject(static_cast<int>(fault::OpClass::Read), r, now)) {
+    res.err = e;
+    res.cost = cfg_.data_latency;
+    return res;
+  }
   res.bytes = off >= f.size ? 0 : std::min<std::uint64_t>(count, f.size - off);
   if (res.bytes > 0) {
     res.extents = resolve(f, r, now, of.t_open, off, res.bytes);
   }
-  res.cost = cfg_.data_latency + charge_transfer({off, off + res.bytes});
+  res.cost = cfg_.data_latency + charge_transfer({off, off + res.bytes}, now);
   res.cost += charge_locks(f, r, {off, off + res.bytes}, /*exclusive=*/false);
   return res;
 }
@@ -319,6 +361,9 @@ MetaResult Pfs::lseek(Rank r, int fd, std::int64_t delta, int whence,
 MetaResult Pfs::fsync(Rank r, int fd, SimTime now) {
   auto it = open_files_.find({r, fd});
   require(it != open_files_.end(), "fsync: bad file descriptor");
+  if (const int e = inject(static_cast<int>(fault::OpClass::Sync), r, now)) {
+    return {-1, cfg_.meta_latency, e};  // nothing committed this attempt
+  }
   File& f = *it->second->file;
   for (auto& w : f.writes) {
     if (w.writer == r && w.t_commit == kTimeNever) w.t_commit = now;
@@ -340,9 +385,11 @@ MetaResult Pfs::laminate(const std::string& path, SimTime now) {
 }
 
 MetaResult Pfs::ftruncate(Rank r, int fd, Offset length, SimTime now) {
-  (void)now;
   auto it = open_files_.find({r, fd});
   require(it != open_files_.end(), "ftruncate: bad file descriptor");
+  if (const int e = inject(static_cast<int>(fault::OpClass::Meta), r, now)) {
+    return {-1, cfg_.meta_latency, e};
+  }
   File& f = *it->second->file;
   if (length < f.size) {
     // Clip recorded writes so re-grown regions read as holes, like a real
@@ -359,7 +406,14 @@ MetaResult Pfs::ftruncate(Rank r, int fd, Offset length, SimTime now) {
 // ----------------------------------------------------------------------
 // namespace ops
 
-MetaResult Pfs::stat(const std::string& path, SimTime) {
+// Path-based metadata ops carry no rank; injected faults target kNoRank
+// (transient faults apply to every rank anyway — only crash filtering is
+// per-rank, and that happens in the facade, which knows the caller).
+
+MetaResult Pfs::stat(const std::string& path, SimTime now) {
+  if (const int e = inject(static_cast<int>(fault::OpClass::Meta), kNoRank, now)) {
+    return {-1, cfg_.meta_latency, e};
+  }
   ++locks_.meta_ops;
   auto f = lookup(path);
   if (f) return {static_cast<std::int64_t>(f->size), cfg_.meta_latency};
@@ -367,22 +421,35 @@ MetaResult Pfs::stat(const std::string& path, SimTime) {
   return {-1, cfg_.meta_latency};
 }
 
-MetaResult Pfs::access(const std::string& path, SimTime) {
+MetaResult Pfs::access(const std::string& path, SimTime now) {
+  if (const int e = inject(static_cast<int>(fault::OpClass::Meta), kNoRank, now)) {
+    return {-1, cfg_.meta_latency, e};
+  }
   ++locks_.meta_ops;
   return {lookup(path) || dirs_.contains(path) ? 0 : -1, cfg_.meta_latency};
 }
 
-MetaResult Pfs::unlink(const std::string& path, SimTime) {
+MetaResult Pfs::unlink(const std::string& path, SimTime now) {
+  if (const int e = inject(static_cast<int>(fault::OpClass::Meta), kNoRank, now)) {
+    return {-1, cfg_.meta_latency, e};
+  }
   ++locks_.meta_ops;
   return {files_.erase(path) > 0 ? 0 : -1, cfg_.meta_latency};
 }
 
-MetaResult Pfs::mkdir(const std::string& path, SimTime) {
+MetaResult Pfs::mkdir(const std::string& path, SimTime now) {
+  if (const int e = inject(static_cast<int>(fault::OpClass::Meta), kNoRank, now)) {
+    return {-1, cfg_.meta_latency, e};
+  }
   ++locks_.meta_ops;
   return {dirs_.insert(path).second ? 0 : -1, cfg_.meta_latency};
 }
 
-MetaResult Pfs::rename(const std::string& from, const std::string& to, SimTime) {
+MetaResult Pfs::rename(const std::string& from, const std::string& to,
+                       SimTime now) {
+  if (const int e = inject(static_cast<int>(fault::OpClass::Meta), kNoRank, now)) {
+    return {-1, cfg_.meta_latency, e};
+  }
   ++locks_.meta_ops;
   auto f = lookup(from);
   if (!f) return {-1, cfg_.meta_latency};
@@ -443,6 +510,9 @@ std::vector<ReadExtent> Pfs::resolve(const File& f, Rank r, SimTime now,
           break;
         case ConsistencyModel::Eventual:
           key = w.t_write + cfg_.eventual_propagation;
+          // A visibility spike active when the write was issued stretches
+          // its propagation further.
+          if (injector_ != nullptr) key += injector_->visibility_extra(w.t_write);
           if (key > now) continue;
           break;
       }
@@ -491,6 +561,53 @@ std::vector<ReadExtent> Pfs::strong_view(const std::string& path, Offset off,
     }
   }
   return out;
+}
+
+std::vector<VersionTag> Pfs::crash_rank(Rank r, SimTime now) {
+  // Durability at the crash instant mirrors the visibility rules of
+  // resolve(): strong writes hit stable storage synchronously; commit
+  // writes survive iff fsync'd/closed; session writes iff published by a
+  // close; eventual writes iff their propagation (plus any spike) has
+  // elapsed. Laminated files are globally published and always survive.
+  auto durable = [&](const WriteRecord& w) {
+    switch (cfg_.model) {
+      case ConsistencyModel::Strong: return true;
+      case ConsistencyModel::Commit:
+        return w.t_commit != kTimeNever && w.t_commit <= now;
+      case ConsistencyModel::Session:
+        return w.t_publish != kTimeNever && w.t_publish <= now;
+      case ConsistencyModel::Eventual: {
+        SimTime key = w.t_write + cfg_.eventual_propagation;
+        if (injector_ != nullptr) key += injector_->visibility_extra(w.t_write);
+        return key <= now;
+      }
+    }
+    return true;
+  };
+  std::vector<VersionTag> lost;
+  for (auto& [path, f] : files_) {
+    if (!f->laminated) {
+      const std::size_t before = f->writes.size();
+      std::erase_if(f->writes, [&](const WriteRecord& w) {
+        if (w.writer != r || durable(w)) return false;
+        lost.push_back(w.id);
+        return true;
+      });
+      if (f->writes.size() != before) {
+        f->rebuild_index();
+        Offset size = 0;
+        for (const auto& w : f->writes) size = std::max(size, w.ext.end);
+        f->size = size;
+      }
+    }
+    for (auto& [blk, lock] : f->locks) lock.holders.erase(r);
+  }
+  // Drop the rank's descriptors *without* the close-time commit/publish —
+  // a crashed process never reaches close().
+  std::erase_if(open_files_,
+                [&](const auto& kv) { return kv.first.first == r; });
+  std::sort(lost.begin(), lost.end());
+  return lost;
 }
 
 void Pfs::preload(const std::string& path, Offset size) {

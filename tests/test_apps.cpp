@@ -87,9 +87,9 @@ TEST_P(AppCase, MatchesPaperGroundTruth) {
 INSTANTIATE_TEST_SUITE_P(
     AllConfigs, AppCase,
     ::testing::Range(0, static_cast<int>(apps::registry().size())),
-    [](const ::testing::TestParamInfo<int>& info) {
+    [](const ::testing::TestParamInfo<int>& pinfo) {
       std::string name =
-          apps::registry()[static_cast<std::size_t>(info.param)].name;
+          apps::registry()[static_cast<std::size_t>(pinfo.param)].name;
       for (char& ch : name) {
         if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
       }

@@ -80,8 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("FLASH-fbs", "FLASH-nofbs", "ENZO", "NWChem",
                       "LAMMPS-ADIOS", "LAMMPS-NetCDF", "MACSio", "GAMESS",
                       "pF3D-IO", "VPIC-IO", "LBANN", "MILC-QCD Parallel"),
-    [](const ::testing::TestParamInfo<const char*>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<const char*>& pinfo) {
+      std::string name = pinfo.param;
       for (char& ch : name) {
         if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
       }

@@ -24,7 +24,12 @@ struct Fixture {
     world.emplace(engine, collector,
                   mpi::WorldConfig{.nranks = nranks, .ranks_per_node = 4});
   }
-  IoContext ctx() { return {&engine, &world.value(), &pfs, &collector}; }
+  IoContext ctx() {
+    return {.engine = &engine,
+            .world = &world.value(),
+            .pfs = &pfs,
+            .collector = &collector};
+  }
 
   sim::Engine engine;
   trace::Collector collector;

@@ -43,7 +43,10 @@ Outcome run_scenario(vfs::ConsistencyModel model, Scenario sc) {
   pcfg.model = model;
   vfs::Pfs pfs(pcfg);
   mpi::World world(engine, collector, mpi::WorldConfig{.nranks = 2});
-  iolib::IoContext ctx{&engine, &world, &pfs, &collector};
+  iolib::IoContext ctx{.engine = &engine,
+                         .world = &world,
+                         .pfs = &pfs,
+                         .collector = &collector};
   iolib::PosixIo posix(ctx);
 
   Outcome out;
@@ -107,8 +110,8 @@ TEST_P(StalenessSweep, DetectorPredictsObservedStaleness) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSyncShapes, StalenessSweep, ::testing::Range(0, 8),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           const int b = info.param;
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           const int b = pinfo.param;
                            std::string n;
                            n += (b & 1) ? "fsync_" : "nofsync_";
                            n += (b & 2) ? "close_" : "noclose_";
@@ -127,7 +130,10 @@ TEST(WawValidation, SessionMayLoseSecondWriteCommitKeepsIt) {
     pcfg.model = model;
     vfs::Pfs pfs(pcfg);
     mpi::World world(engine, collector, mpi::WorldConfig{.nranks = 3});
-    iolib::IoContext ctx{&engine, &world, &pfs, &collector};
+    iolib::IoContext ctx{.engine = &engine,
+                         .world = &world,
+                         .pfs = &pfs,
+                         .collector = &collector};
     iolib::PosixIo posix(ctx);
 
     vfs::VersionTag second_version = 0;
@@ -205,7 +211,10 @@ RandomRun run_random(vfs::ConsistencyModel model, std::uint64_t seed) {
   pcfg.model = model;
   vfs::Pfs pfs(pcfg);
   mpi::World world(engine, collector, mpi::WorldConfig{.nranks = kRanks});
-  iolib::IoContext ctx{&engine, &world, &pfs, &collector};
+  iolib::IoContext ctx{.engine = &engine,
+                         .world = &world,
+                         .pfs = &pfs,
+                         .collector = &collector};
   iolib::PosixIo posix(ctx);
 
   // Pre-generate each rank's op list so all models see identical programs.

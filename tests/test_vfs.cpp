@@ -341,6 +341,34 @@ TEST(Laminate, MissingFileFails) {
   EXPECT_EQ(fs.laminate("nope", 0).ret, -1);
 }
 
+TEST(Laminate, LaminatedWritesSurviveCrashUnderEveryModel) {
+  for (auto m : {ConsistencyModel::Strong, ConsistencyModel::Commit,
+                 ConsistencyModel::Session, ConsistencyModel::Eventual}) {
+    SCOPED_TRACE(to_string(m));
+    PfsConfig cfg = with_model(m);
+    cfg.eventual_propagation = 1'000'000'000;  // nothing propagates by t=50
+    Pfs fs(cfg);
+    const int w = fs.open(0, "f", kCreate | kRdWr, 0).fd;
+    const auto wr = fs.pwrite(0, w, 0, 100, 10);
+    // No fsync, no close: only the lamination makes this durable.
+    EXPECT_EQ(fs.laminate("f", 20).ret, 0);
+    const auto lost = fs.crash_rank(0, 50);
+    EXPECT_TRUE(lost.empty()) << "laminated data must survive a crash";
+    EXPECT_EQ(tag_at(fs.strong_view("f", 0, 100), 0), wr.version);
+    EXPECT_EQ(fs.file_size("f"), 100u);
+  }
+}
+
+TEST(Laminate, UnlaminatedControlLosesTheWriteUnderCommit) {
+  Pfs fs(with_model(ConsistencyModel::Commit));
+  const int w = fs.open(0, "f", kCreate | kRdWr, 0).fd;
+  const auto wr = fs.pwrite(0, w, 0, 100, 10);
+  const auto lost = fs.crash_rank(0, 50);
+  EXPECT_EQ(lost, std::vector<VersionTag>{wr.version});
+  EXPECT_EQ(tag_at(fs.strong_view("f", 0, 100), 0), 0u);
+  EXPECT_EQ(fs.file_size("f"), 0u);
+}
+
 
 // --- striping (Lustre-style OST layout) ------------------------------------
 
