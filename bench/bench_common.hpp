@@ -37,21 +37,24 @@ struct Analysis {
   core::RaceCheck races;
 };
 
+/// `threads` parallelizes the analysis stages; outputs are identical for
+/// every value (default 1 keeps the reproduction binaries sequential).
 inline Analysis analyze_app(const apps::AppInfo& info,
                             apps::AppConfig cfg = paper_scale(),
                             vfs::PfsConfig pfs_cfg = {},
-                            std::vector<sim::ClockModel> clocks = {}) {
+                            std::vector<sim::ClockModel> clocks = {},
+                            int threads = 1) {
   Analysis a;
   a.bundle = apps::run_app(info, cfg, pfs_cfg, std::move(clocks));
   a.log = core::reconstruct_accesses(a.bundle);
-  a.report = core::detect_conflicts(a.log);
+  a.report = core::detect_conflicts(a.log, {.threads = threads});
   a.pattern = core::classify_high_level(a.log, cfg.nranks);
-  a.local = core::local_pattern(a.log);
-  a.global = core::global_pattern(a.log);
+  a.local = core::local_pattern(a.log, threads);
+  a.global = core::global_pattern(a.log, threads);
   a.census = core::census_metadata(a.bundle);
   core::HappensBefore hb(a.bundle.comm, cfg.nranks);
-  a.races = core::validate_synchronization(a.report, hb);
-  a.advice = core::advise(a.report, &hb);
+  a.races = core::validate_synchronization(a.report, hb, threads);
+  a.advice = core::advise(a.report, &hb, threads);
   return a;
 }
 

@@ -53,6 +53,33 @@ std::vector<core::Access> adversarial(std::size_t n) {
   return v;
 }
 
+/// Adversarial for the *scan*: long-lived read intervals (a shared input
+/// deck every rank keeps mapped) with a handful of writes. Under the
+/// default writes_only filter the output is tiny (read-write pairs only),
+/// but the scan still visits all ~n^2/2 read-read candidates because its
+/// stop condition is begin-order, not relevance. The sweep keeps reads
+/// and writes in separate active lists, so a read only ever scans the
+/// writes — this is the O(n^2) -> O(n log n + output) case.
+std::vector<core::Access> long_reads(std::size_t n) {
+  std::vector<core::Access> v;
+  v.reserve(n);
+  constexpr std::size_t kWriters = 16;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Access a;
+    a.rank = static_cast<Rank>(i % 64);
+    a.t = static_cast<SimTime>(i);
+    if (i % std::max<std::size_t>(n / kWriters, 1) == 0) {
+      a.type = core::AccessType::Write;
+      a.ext = {static_cast<Offset>(i), static_cast<Offset>(i) + 4096};
+    } else {
+      a.type = core::AccessType::Read;
+      a.ext = {static_cast<Offset>(i), 1'000'000'000};
+    }
+    v.push_back(a);
+  }
+  return v;
+}
+
 void BM_Algorithm1_Realistic(benchmark::State& state) {
   const auto v = realistic(static_cast<std::size_t>(state.range(0)), 42);
   for (auto _ : state) {
@@ -79,6 +106,33 @@ void BM_Algorithm1_Adversarial(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Algorithm1_Adversarial)->Range(1 << 8, 1 << 11)->Complexity();
+
+void BM_Scan_Realistic(benchmark::State& state) {
+  const auto v = realistic(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_overlaps_scan(v));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Scan_Realistic)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_Sweep_LongReads(benchmark::State& state) {
+  const auto v = long_reads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_overlaps(v));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Sweep_LongReads)->Range(1 << 10, 1 << 15)->Complexity();
+
+void BM_Scan_LongReads(benchmark::State& state) {
+  const auto v = long_reads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_overlaps_scan(v));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Scan_LongReads)->Range(1 << 10, 1 << 13)->Complexity();
 
 void BM_RankTable(benchmark::State& state) {
   const auto v = realistic(static_cast<std::size_t>(state.range(0)), 7);

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate BENCH_perf.json at the repository root. Run from anywhere;
+# builds the harness if needed. See docs/performance.md for the format.
+set -e
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cmake -S "$root" -B "$root/build" > /dev/null
+cmake --build "$root/build" --target bench_perf_scaling -j > /dev/null
+exec "$root/build/bench/bench_perf_scaling" --out "$root/BENCH_perf.json"

@@ -17,10 +17,11 @@ ConsistencyModel pick(bool no_pairs, bool session_conflicts,
 
 }  // namespace
 
-Advice advise(const ConflictReport& report, const HappensBefore* hb) {
+Advice advise(const ConflictReport& report, const HappensBefore* hb,
+              int threads) {
   Advice advice;
   if (hb) {
-    const RaceCheck rc = validate_synchronization(report, *hb);
+    const RaceCheck rc = validate_synchronization(report, *hb, threads);
     advice.race_free = rc.racy == 0;
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pfsem/core/overlap.hpp"
+#include "pfsem/exec/pool.hpp"
 
 namespace pfsem::core {
 
@@ -17,47 +18,100 @@ void note(ConflictMatrix& m, ConflictKind kind, bool same) {
   }
 }
 
+void merge(ConflictMatrix& into, const ConflictMatrix& part) {
+  into.waw_s |= part.waw_s;
+  into.waw_d |= part.waw_d;
+  into.raw_s |= part.raw_s;
+  into.raw_d |= part.raw_d;
+  into.count += part.count;
+}
+
+/// One file's contribution to the report: the inner loop of the
+/// original sequential detect_conflicts, verbatim, over precomputed
+/// (canonical-order) pairs. Runs as one shard task; shard results merge
+/// in file order, so parallel output is byte-identical to sequential.
+ConflictReport evaluate_file(const std::string& path,
+                             std::span<const Access> accesses,
+                             std::span<const OverlapPair> pairs,
+                             const ConflictOptions& opts) {
+  ConflictReport part;
+  std::size_t kept_for_file = 0;
+  for (const auto& p : pairs) {
+    const Access* a = &accesses[p.first];
+    const Access* b = &accesses[p.second];
+    if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
+    if (a->type != AccessType::Write) continue;  // WAR never conflicts
+    ++part.potential_pairs;
+
+    const ConflictKind kind =
+        b->type == AccessType::Write ? ConflictKind::WAW : ConflictKind::RAW;
+    const bool same = a->rank == b->rank;
+
+    // Commit condition: no commit by a's process in (t1, t2).
+    const bool under_commit = a->t_commit > b->t;
+    // Session condition: not (t1 < tclose1 < topen2 < t2).
+    const bool under_session = !(a->t_close < b->t_open);
+
+    if (!under_commit && !under_session) continue;
+    if (under_commit) note(part.commit, kind, same);
+    if (under_session) note(part.session, kind, same);
+    if (kept_for_file < opts.max_examples_per_file) {
+      Conflict c;
+      c.path = path;
+      c.first = *a;
+      c.second = *b;
+      c.kind = kind;
+      c.same_process = same;
+      c.under_commit = under_commit;
+      c.under_session = under_session;
+      part.conflicts.push_back(std::move(c));
+      ++kept_for_file;
+    }
+  }
+  return part;
+}
+
+ConflictReport merge_file_parts(std::vector<ConflictReport> parts) {
+  ConflictReport report;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.conflicts.size();
+  report.conflicts.reserve(total);
+  for (auto& part : parts) {
+    std::move(part.conflicts.begin(), part.conflicts.end(),
+              std::back_inserter(report.conflicts));
+    merge(report.session, part.session);
+    merge(report.commit, part.commit);
+    report.potential_pairs += part.potential_pairs;
+  }
+  return report;
+}
+
 }  // namespace
 
 ConflictReport detect_conflicts(const AccessLog& log, ConflictOptions opts) {
-  ConflictReport report;
-  for (const auto& [path, fl] : log.files) {
-    std::size_t kept_for_file = 0;
-    const auto pairs = detect_overlaps(fl.accesses);
-    for (const auto& p : pairs) {
-      const Access* a = &fl.accesses[p.first];
-      const Access* b = &fl.accesses[p.second];
-      if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
-      if (a->type != AccessType::Write) continue;  // WAR never conflicts
-      ++report.potential_pairs;
+  const auto flat = FlatAccessLog::from(log);
+  exec::ThreadPool pool(opts.threads);
+  // Stage 1: overlap pairs, one task per (file, begin-sorted slice).
+  const auto pairs = detect_file_overlaps(flat, {}, pool);
+  // Stage 2: semantics conditions, one task per file.
+  std::vector<ConflictReport> parts(flat.files.size());
+  pool.parallel_for(flat.files.size(), [&](std::size_t f) {
+    parts[f] = evaluate_file(*flat.files[f].path, flat.accesses(f), pairs[f], opts);
+  });
+  return merge_file_parts(std::move(parts));
+}
 
-      const ConflictKind kind =
-          b->type == AccessType::Write ? ConflictKind::WAW : ConflictKind::RAW;
-      const bool same = a->rank == b->rank;
-
-      // Commit condition: no commit by a's process in (t1, t2).
-      const bool under_commit = a->t_commit > b->t;
-      // Session condition: not (t1 < tclose1 < topen2 < t2).
-      const bool under_session = !(a->t_close < b->t_open);
-
-      if (!under_commit && !under_session) continue;
-      if (under_commit) note(report.commit, kind, same);
-      if (under_session) note(report.session, kind, same);
-      if (kept_for_file < opts.max_examples_per_file) {
-        Conflict c;
-        c.path = path;
-        c.first = *a;
-        c.second = *b;
-        c.kind = kind;
-        c.same_process = same;
-        c.under_commit = under_commit;
-        c.under_session = under_session;
-        report.conflicts.push_back(std::move(c));
-        ++kept_for_file;
-      }
-    }
-  }
-  return report;
+ConflictReport detect_conflicts(const AccessLog& log, const FileOverlaps& pairs,
+                                ConflictOptions opts) {
+  const auto flat = FlatAccessLog::from(log);
+  exec::ThreadPool pool(opts.threads);
+  std::vector<ConflictReport> parts(flat.files.size());
+  pool.parallel_for(flat.files.size(), [&](std::size_t f) {
+    const auto it = pairs.find(*flat.files[f].path);
+    if (it == pairs.end()) return;
+    parts[f] = evaluate_file(*flat.files[f].path, flat.accesses(f), it->second, opts);
+  });
+  return merge_file_parts(std::move(parts));
 }
 
 }  // namespace pfsem::core

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,41 @@ struct FileLog {
 struct AccessLog {
   int nranks = 0;
   std::map<std::string, FileLog> files;
+};
+
+/// Arena view of an AccessLog: every access copied into one flat
+/// file-major vector, with per-file index slices, so parallel analysis
+/// shards index files by number (no map walking inside tasks) and read
+/// contiguous memory. Holds pointers into the source log (map nodes are
+/// stable), so the log must outlive the view.
+struct FlatAccessLog {
+  int nranks = 0;
+  std::vector<Access> arena;  ///< all accesses, grouped by file, path order
+  struct FileSlice {
+    const std::string* path = nullptr;  ///< map key of the source entry
+    const FileLog* file = nullptr;      ///< source (open/close/commit tables)
+    std::size_t begin = 0, end = 0;     ///< [begin, end) into `arena`
+  };
+  std::vector<FileSlice> files;  ///< in path (map iteration) order
+
+  [[nodiscard]] std::span<const Access> accesses(std::size_t f) const {
+    return {arena.data() + files[f].begin, files[f].end - files[f].begin};
+  }
+
+  [[nodiscard]] static FlatAccessLog from(const AccessLog& log) {
+    FlatAccessLog flat;
+    flat.nranks = log.nranks;
+    std::size_t total = 0;
+    for (const auto& [path, fl] : log.files) total += fl.accesses.size();
+    flat.arena.reserve(total);
+    flat.files.reserve(log.files.size());
+    for (const auto& [path, fl] : log.files) {
+      const std::size_t begin = flat.arena.size();
+      flat.arena.insert(flat.arena.end(), fl.accesses.begin(), fl.accesses.end());
+      flat.files.push_back({&path, &fl, begin, flat.arena.size()});
+    }
+    return flat;
+  }
 };
 
 }  // namespace pfsem::core

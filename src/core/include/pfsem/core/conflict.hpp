@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "pfsem/core/access.hpp"
+#include "pfsem/core/overlap.hpp"
 
 namespace pfsem::core {
 
@@ -67,10 +68,23 @@ struct ConflictReport {
 struct ConflictOptions {
   /// Max example Conflict entries retained per file (counts stay exact).
   std::size_t max_examples_per_file = 64;
+  /// Analysis threads: 1 = the sequential reference path, 0 = all
+  /// hardware threads, N = exactly N. Any value produces byte-identical
+  /// reports (shards merge in deterministic file/pair order).
+  int threads = 1;
 };
 
 /// Run overlap detection + the semantics conditions over every file.
+/// Fans out one task per (file, begin-sorted slice) shard on a
+/// work-stealing pool when opts.threads != 1.
 [[nodiscard]] ConflictReport detect_conflicts(const AccessLog& log,
+                                              ConflictOptions opts = {});
+
+/// Same, but consuming precomputed per-file overlap pairs (from
+/// detect_file_overlaps with default options) instead of redoing the
+/// sweep — the path report/advise use to share one pair computation.
+[[nodiscard]] ConflictReport detect_conflicts(const AccessLog& log,
+                                              const FileOverlaps& pairs,
                                               ConflictOptions opts = {});
 
 }  // namespace pfsem::core

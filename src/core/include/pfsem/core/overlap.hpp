@@ -1,17 +1,39 @@
 #pragma once
 // Overlap detection — Algorithm 1 of the paper.
 //
-// Accesses are sorted by starting offset; for each tuple we scan forward
-// until the next start offset passes our end offset, at which point no
-// later tuple can overlap (starts are sorted). Worst case quadratic (all
-// intervals overlapping), in practice near-linear — the claim the
-// bench_perf_overlap binary measures against a naive O(n^2) baseline.
+// Three interchangeable engines, all returning the same canonical pair
+// list (asserted against each other by tests/test_overlap_diff.cpp):
+//
+//   detect_overlaps       sweep-line over an active set (the default).
+//                         Accesses are begin-sorted; each incoming access
+//                         pairs with every still-live earlier interval,
+//                         and — key difference from the scan — with
+//                         writes_only set, read-read candidate pairs are
+//                         never even visited, because reads and writes
+//                         live in separate active lists. Long-lived
+//                         intervals (header regions rewritten every
+//                         checkpoint) therefore cost O(n log n + output)
+//                         instead of the scan's O(n^2) visit storm.
+//   detect_overlaps_scan  the paper's Algorithm 1 verbatim (sorted
+//                         starts, scan forward, early break). Kept as the
+//                         differential-test oracle and bench baseline.
+//   detect_overlaps_naive the O(n^2) brute-force oracle.
+//
+// Empty extents are dropped before any engine runs (they overlap
+// nothing by definition, and pre-filtering keeps them from perturbing
+// the sorted order or the early-break condition of the scan).
 
 #include <cstddef>
+#include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "pfsem/core/access.hpp"
+
+namespace pfsem::exec {
+class ThreadPool;
+}  // namespace pfsem::exec
 
 namespace pfsem::core {
 
@@ -19,6 +41,8 @@ namespace pfsem::core {
 struct OverlapPair {
   std::size_t first = 0;
   std::size_t second = 0;
+
+  friend constexpr bool operator==(const OverlapPair&, const OverlapPair&) = default;
 };
 
 struct OverlapOptions {
@@ -28,8 +52,20 @@ struct OverlapOptions {
   bool writes_only = true;
 };
 
-/// Algorithm 1: all overlapping pairs among `accesses`.
+/// Algorithm 1: all overlapping pairs among `accesses` (sweep-line).
 [[nodiscard]] std::vector<OverlapPair> detect_overlaps(
+    std::span<const Access> accesses, OverlapOptions opts = {});
+
+/// Parallel sweep-line: identical output to detect_overlaps, computed
+/// as begin-sorted slices fanned out over `pool` (each slice seeds its
+/// active set from the prefix before it, so slices are independent).
+[[nodiscard]] std::vector<OverlapPair> detect_overlaps(
+    std::span<const Access> accesses, OverlapOptions opts,
+    exec::ThreadPool& pool);
+
+/// The paper's Algorithm 1 as literally written: sorted starts, forward
+/// scan, early break. Oracle/baseline for the sweep-line.
+[[nodiscard]] std::vector<OverlapPair> detect_overlaps_scan(
     std::span<const Access> accesses, OverlapOptions opts = {});
 
 /// Naive O(n^2) reference used as the property-test oracle and the
@@ -37,8 +73,35 @@ struct OverlapOptions {
 [[nodiscard]] std::vector<OverlapPair> detect_overlaps_naive(
     std::span<const Access> accesses, OverlapOptions opts = {});
 
+/// Per-file overlap pairs for a whole log, computed once so downstream
+/// consumers (conflict detection, tuning, the rank table) stop redoing
+/// the sweep per call site. Sharded over `threads` (1 = sequential).
+using FileOverlaps = std::map<std::string, std::vector<OverlapPair>, std::less<>>;
+[[nodiscard]] FileOverlaps detect_file_overlaps(const AccessLog& log,
+                                                OverlapOptions opts = {},
+                                                int threads = 1);
+
+/// Same, over a prebuilt flat view and an existing pool; returns one
+/// pair vector per flat file slice, in flat order. This is the shard
+/// fan-out detect_conflicts rides on: one task per (file, begin-sorted
+/// slice), flattened into a single task list so the pool is never
+/// entered reentrantly.
+[[nodiscard]] std::vector<std::vector<OverlapPair>> detect_file_overlaps(
+    const FlatAccessLog& flat, OverlapOptions opts, exec::ThreadPool& pool);
+
 /// The paper's process-pair overlap table P[ri][rj] (Algorithm 1 output).
+/// This overload runs its own sweep, after coalescing each rank's
+/// contiguous extents (merging [a,b)+[b,c) of one rank changes no
+/// rank-pair bit but collapses long per-rank streams to a handful of
+/// segments).
 [[nodiscard]] std::vector<std::vector<bool>> overlap_rank_table(
     std::span<const Access> accesses, int nranks);
+
+/// Rank table from precomputed pairs (e.g. one file's entry of
+/// detect_file_overlaps, computed with writes_only = false) — avoids
+/// rerunning the sweep when the pairs already exist.
+[[nodiscard]] std::vector<std::vector<bool>> overlap_rank_table(
+    std::span<const Access> accesses, std::span<const OverlapPair> pairs,
+    int nranks);
 
 }  // namespace pfsem::core

@@ -49,10 +49,12 @@ struct TransitionMix {
   }
 };
 
-/// Per-(rank,file) sequences, aggregated (Figure 1b).
-[[nodiscard]] TransitionMix local_pattern(const AccessLog& log);
+/// Per-(rank,file) sequences, aggregated (Figure 1b). Fans out one task
+/// per file (each file splits into per-rank sequences internally) when
+/// threads != 1; the integer sums make the merge order-invariant.
+[[nodiscard]] TransitionMix local_pattern(const AccessLog& log, int threads = 1);
 /// Per-file time-ordered global sequences, aggregated (Figure 1a).
-[[nodiscard]] TransitionMix global_pattern(const AccessLog& log);
+[[nodiscard]] TransitionMix global_pattern(const AccessLog& log, int threads = 1);
 
 enum class FileLayout : std::uint8_t { Consecutive, Strided, StridedCyclic, Random };
 

@@ -80,10 +80,14 @@ struct RunReport {
   std::optional<DegradedSummary> degraded;
 };
 
-/// Build the full report for one run.
+/// Build the full report for one run. `threads` fans the record-counter
+/// scan and the per-file summaries out over the analysis pool (1 =
+/// sequential, 0 = all hardware threads); counters merge in chunk order
+/// so the report is identical for every thread count.
 [[nodiscard]] RunReport build_report(const trace::TraceBundle& bundle,
                                      const AccessLog& log,
-                                     const ConflictReport& conflicts);
+                                     const ConflictReport& conflicts,
+                                     int threads = 1);
 
 /// Render as human-readable text.
 void print_report(const RunReport& report, std::ostream& os);

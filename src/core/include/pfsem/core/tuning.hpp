@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pfsem/core/conflict.hpp"
+#include "pfsem/core/overlap.hpp"
 #include "pfsem/vfs/pfs.hpp"
 
 namespace pfsem::core {
@@ -46,7 +47,16 @@ struct TuningReport {
   }
 };
 
-/// Per-file weakest-model assignment from the access log.
-[[nodiscard]] TuningReport per_file_tuning(const AccessLog& log);
+/// Per-file weakest-model assignment from the access log. `threads`
+/// parallelizes the per-file overlap sweeps (0 = all hardware threads).
+[[nodiscard]] TuningReport per_file_tuning(const AccessLog& log,
+                                           int threads = 1);
+
+/// Same, reusing precomputed per-file overlap pairs (as returned by
+/// detect_file_overlaps) so callers that already ran conflict detection
+/// don't sweep every file a second time. Files absent from `pairs` are
+/// treated as overlap-free.
+[[nodiscard]] TuningReport per_file_tuning(const AccessLog& log,
+                                           const FileOverlaps& pairs);
 
 }  // namespace pfsem::core

@@ -1,6 +1,9 @@
 #include "pfsem/core/metadata_conflict.hpp"
 
 #include <algorithm>
+#include <string_view>
+
+#include "pfsem/exec/pool.hpp"
 
 namespace pfsem::core {
 
@@ -86,46 +89,102 @@ MetadataConflictReport detect_metadata_dependencies(
   }
 
   // Pair each op with the nearest preceding mutation of the same path by
-  // a different process.
-  MetadataConflictReport report;
-  std::map<std::string, const NsOp*> last_mutate;
-  // Nearest preceding mutation of this exact path, or of an ancestor
-  // directory (creating "out.bp" is what makes "out.bp/data.0" reachable).
-  auto find_mutate = [&](const std::string& path) -> const NsOp* {
-    if (auto it = last_mutate.find(path); it != last_mutate.end()) {
-      return it->second;
-    }
-    for (auto pos = path.rfind('/'); pos != std::string::npos && pos > 0;
-         pos = path.rfind('/', pos - 1)) {
-      if (auto it = last_mutate.find(path.substr(0, pos));
-          it != last_mutate.end()) {
+  // a different process. The pairing for a path consults only that path
+  // and its ancestor directories, all of which share the path's first
+  // component ("out.bp" for "out.bp/data.0", "/scratch" for
+  // "/scratch/run/chk.h5"), so ops shard by that component and each
+  // shard walks its subset in global trace order independently.
+  auto shard_key = [](const std::string& path) {
+    return std::string_view(path).substr(0, path.find('/', 1));
+  };
+  std::map<std::string_view, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    groups[shard_key(ops[i].path)].push_back(i);
+  }
+  std::vector<const std::vector<std::size_t>*> shards;
+  shards.reserve(groups.size());
+  for (const auto& [key, indices] : groups) shards.push_back(&indices);
+
+  struct Part {
+    MetadataConflictReport report;
+    std::vector<std::size_t> dep_op;  ///< global op index per stored dep
+  };
+  std::vector<Part> parts(shards.size());
+  exec::parallel_for(opts.threads, shards.size(), [&](std::size_t s) {
+    Part& part = parts[s];
+    std::map<std::string, const NsOp*> last_mutate;
+    // Nearest preceding mutation of this exact path, or of an ancestor
+    // directory (creating "out.bp" is what makes "out.bp/data.0"
+    // reachable).
+    auto find_mutate = [&](const std::string& path) -> const NsOp* {
+      if (auto it = last_mutate.find(path); it != last_mutate.end()) {
         return it->second;
       }
+      for (auto pos = path.rfind('/'); pos != std::string::npos && pos > 0;
+           pos = path.rfind('/', pos - 1)) {
+        if (auto it = last_mutate.find(path.substr(0, pos));
+            it != last_mutate.end()) {
+          return it->second;
+        }
+      }
+      return nullptr;
+    };
+    for (const std::size_t idx : *shards[s]) {
+      const NsOp& op = ops[idx];
+      if (const NsOp* m = find_mutate(op.path); m && m->rank != op.rank) {
+        ++part.report.cross_process;
+        if (op.hard) ++part.report.hard_cross_process;
+        ++part.report.paths[op.path];
+        MetadataDependency dep;
+        dep.mutate = *m;
+        dep.observe = op;
+        if (hb) {
+          dep.synchronized =
+              hb->ordered(dep.mutate.rank, dep.mutate.t, op.rank, op.t);
+        }
+        if (!dep.synchronized) {
+          ++part.report.unsynchronized;
+          if (op.hard) ++part.report.hard_unsynchronized;
+        }
+        // Keep up to the global cap per shard: the merge below truncates
+        // to the first max_examples in global order, and those can all
+        // come from one shard.
+        if (part.report.dependencies.size() < opts.max_examples) {
+          part.report.dependencies.push_back(std::move(dep));
+          part.dep_op.push_back(idx);
+        }
+      }
+      // Pointers into `ops` stay valid: the vector is fully built above.
+      if (op.kind == NsOpKind::Mutate) last_mutate[op.path] = &op;
     }
-    return nullptr;
+  });
+
+  // Deterministic reduction: sum the counters, merge the (disjoint)
+  // path maps, and interleave the stored examples back into global
+  // trace order before applying the cap — byte-identical to the
+  // sequential walk regardless of shard count.
+  MetadataConflictReport report;
+  struct Tagged {
+    std::size_t op_index;
+    MetadataDependency* dep;
   };
-  for (const auto& op : ops) {
-    if (const NsOp* m = find_mutate(op.path); m && m->rank != op.rank) {
-      ++report.cross_process;
-      if (op.hard) ++report.hard_cross_process;
-      ++report.paths[op.path];
-      MetadataDependency dep;
-      dep.mutate = *m;
-      dep.observe = op;
-      if (hb) {
-        dep.synchronized =
-            hb->ordered(dep.mutate.rank, dep.mutate.t, op.rank, op.t);
-      }
-      if (!dep.synchronized) {
-        ++report.unsynchronized;
-        if (op.hard) ++report.hard_unsynchronized;
-      }
-      if (report.dependencies.size() < opts.max_examples) {
-        report.dependencies.push_back(std::move(dep));
-      }
+  std::vector<Tagged> tagged;
+  for (auto& part : parts) {
+    report.cross_process += part.report.cross_process;
+    report.unsynchronized += part.report.unsynchronized;
+    report.hard_cross_process += part.report.hard_cross_process;
+    report.hard_unsynchronized += part.report.hard_unsynchronized;
+    report.paths.merge(part.report.paths);
+    for (std::size_t d = 0; d < part.report.dependencies.size(); ++d) {
+      tagged.push_back({part.dep_op[d], &part.report.dependencies[d]});
     }
-    // Pointers into `ops` stay valid: the vector is fully built above.
-    if (op.kind == NsOpKind::Mutate) last_mutate[op.path] = &op;
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const Tagged& a, const Tagged& b) { return a.op_index < b.op_index; });
+  const std::size_t keep = std::min(tagged.size(), opts.max_examples);
+  report.dependencies.reserve(keep);
+  for (std::size_t d = 0; d < keep; ++d) {
+    report.dependencies.push_back(std::move(*tagged[d].dep));
   }
   return report;
 }

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "pfsem/exec/pool.hpp"
+
 namespace pfsem::core {
 
 const char* to_string(FileLayout l) {
@@ -109,25 +111,45 @@ std::int64_t round_stride(std::vector<std::pair<Rank, Offset>> round) {
 
 }  // namespace
 
-TransitionMix local_pattern(const AccessLog& log) {
+namespace {
+
+/// Sum per-file TransitionMix partials computed on the pool. Addition is
+/// commutative over exact integers, so any completion order yields the
+/// identical aggregate.
+TransitionMix sum_per_file(const AccessLog& log, int threads,
+                           const std::function<TransitionMix(const FileLog&)>& per_file) {
+  std::vector<const FileLog*> files;
+  files.reserve(log.files.size());
+  for (const auto& [path, file] : log.files) files.push_back(&file);
+  std::vector<TransitionMix> parts(files.size());
+  exec::parallel_for(threads, files.size(),
+                     [&](std::size_t f) { parts[f] = per_file(*files[f]); });
   TransitionMix mix;
-  for (const auto& [path, file] : log.files) {
-    std::map<Rank, std::vector<const Access*>> per_rank;
-    for (const auto& a : file.accesses) per_rank[a.rank].push_back(&a);
-    for (const auto& [rank, seq] : per_rank) count_transitions(mix, seq);
-  }
+  for (const auto& p : parts) mix += p;
   return mix;
 }
 
-TransitionMix global_pattern(const AccessLog& log) {
-  TransitionMix mix;
-  for (const auto& [path, file] : log.files) {
+}  // namespace
+
+TransitionMix local_pattern(const AccessLog& log, int threads) {
+  return sum_per_file(log, threads, [](const FileLog& file) {
+    TransitionMix mix;
+    std::map<Rank, std::vector<const Access*>> per_rank;
+    for (const auto& a : file.accesses) per_rank[a.rank].push_back(&a);
+    for (const auto& [rank, seq] : per_rank) count_transitions(mix, seq);
+    return mix;
+  });
+}
+
+TransitionMix global_pattern(const AccessLog& log, int threads) {
+  return sum_per_file(log, threads, [](const FileLog& file) {
+    TransitionMix mix;
     std::vector<const Access*> seq;
     seq.reserve(file.accesses.size());
     for (const auto& a : file.accesses) seq.push_back(&a);  // time order
     count_transitions(mix, seq);
-  }
-  return mix;
+    return mix;
+  });
 }
 
 FileLayout classify_file_layout(const FileLog& file, PatternOptions opts) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <ostream>
+#include <span>
 
+#include "pfsem/exec/pool.hpp"
 #include "pfsem/util/table.hpp"
 
 namespace pfsem::core {
@@ -35,37 +37,90 @@ std::string SizeHistogram::bucket_label(std::size_t k) {
   return human(1ull << k) + "-" + human(1ull << (k + 1));
 }
 
-RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
-                       const ConflictReport& conflicts) {
-  RunReport rep;
-  rep.nranks = bundle.nranks;
-  rep.records = bundle.records.size();
+namespace {
+
+/// Partial record counters for one chunk of the trace; summing partials
+/// in any order gives the sequential totals (all fields are sums or
+/// min/max), so the chunked scan is deterministic by construction.
+struct RecordStats {
+  std::map<trace::Func, std::uint64_t> function_counts;
+  std::map<trace::Layer, std::uint64_t> layer_counts;
+  SizeHistogram read_sizes;
+  SizeHistogram write_sizes;
   SimTime lo = kTimeNever, hi = 0;
-  for (const auto& rec : bundle.records) {
-    ++rep.function_counts[rec.func];
-    ++rep.layer_counts[rec.layer];
-    lo = std::min(lo, rec.tstart);
-    hi = std::max(hi, rec.tend);
+};
+
+void scan_records(std::span<const trace::Record> records, RecordStats& s) {
+  for (const auto& rec : records) {
+    ++s.function_counts[rec.func];
+    ++s.layer_counts[rec.layer];
+    s.lo = std::min(s.lo, rec.tstart);
+    s.hi = std::max(s.hi, rec.tend);
     if (rec.layer != trace::Layer::Posix) continue;
     switch (rec.func) {
       case trace::Func::read:
       case trace::Func::pread:
-        rep.read_sizes.add(static_cast<std::uint64_t>(rec.ret));
+        s.read_sizes.add(static_cast<std::uint64_t>(rec.ret));
         break;
       case trace::Func::write:
       case trace::Func::pwrite:
-        rep.write_sizes.add(static_cast<std::uint64_t>(rec.ret));
+        s.write_sizes.add(static_cast<std::uint64_t>(rec.ret));
         break;
       default:
         break;
     }
   }
-  rep.span = rep.records > 0 ? hi - lo : 0;
+}
 
+}  // namespace
+
+RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
+                       const ConflictReport& conflicts, int threads) {
+  RunReport rep;
+  rep.nranks = bundle.nranks;
+  rep.records = bundle.records.size();
+  const int nthreads = exec::resolve_threads(threads);
+
+  const std::size_t chunks = std::min<std::size_t>(
+      bundle.records.size(), static_cast<std::size_t>(nthreads) * 4);
+  RecordStats stats;
+  if (chunks > 0) {
+    std::vector<RecordStats> parts(chunks);
+    exec::parallel_for(nthreads, chunks, [&](std::size_t ch) {
+      const std::size_t lo = bundle.records.size() * ch / chunks;
+      const std::size_t hi = bundle.records.size() * (ch + 1) / chunks;
+      scan_records(std::span(bundle.records).subspan(lo, hi - lo), parts[ch]);
+    });
+    for (auto& p : parts) {
+      for (const auto& [f, n] : p.function_counts) stats.function_counts[f] += n;
+      for (const auto& [l, n] : p.layer_counts) stats.layer_counts[l] += n;
+      for (std::size_t k = 0; k < SizeHistogram::kBuckets; ++k) {
+        stats.read_sizes.counts[k] += p.read_sizes.counts[k];
+        stats.write_sizes.counts[k] += p.write_sizes.counts[k];
+      }
+      stats.lo = std::min(stats.lo, p.lo);
+      stats.hi = std::max(stats.hi, p.hi);
+    }
+  }
+  rep.function_counts = std::move(stats.function_counts);
+  rep.layer_counts = std::move(stats.layer_counts);
+  rep.read_sizes = stats.read_sizes;
+  rep.write_sizes = stats.write_sizes;
+  rep.span = rep.records > 0 ? stats.hi - stats.lo : 0;
+
+  // Per-file summaries are independent; compute into index slots and
+  // insert into the (sorted) map afterwards.
+  std::vector<const std::string*> paths;
+  std::vector<const FileLog*> file_logs;
   for (const auto& [path, fl] : log.files) {
+    paths.push_back(&path);
+    file_logs.push_back(&fl);
+  }
+  std::vector<FileReport> file_parts(file_logs.size());
+  exec::parallel_for(nthreads, file_logs.size(), [&](std::size_t f) {
     FileReport fr;
-    fr.path = path;
-    for (const auto& a : fl.accesses) {
+    fr.path = *paths[f];
+    for (const auto& a : file_logs[f]->accesses) {
       if (a.type == AccessType::Read) {
         ++fr.reads;
         fr.read_bytes += a.ext.size();
@@ -74,8 +129,11 @@ RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
         fr.write_bytes += a.ext.size();
       }
     }
-    fr.layout = classify_file_layout(fl);
-    rep.files[path] = std::move(fr);
+    fr.layout = classify_file_layout(*file_logs[f]);
+    file_parts[f] = std::move(fr);
+  });
+  for (std::size_t f = 0; f < file_parts.size(); ++f) {
+    rep.files[*paths[f]] = std::move(file_parts[f]);
   }
   for (const auto& c : conflicts.conflicts) {
     auto it = rep.files.find(c.path);
@@ -84,8 +142,8 @@ RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
     it->second.commit_conflicts += c.under_commit ? 1 : 0;
   }
   rep.pattern = classify_high_level(log, bundle.nranks);
-  rep.local = local_pattern(log);
-  rep.global = global_pattern(log);
+  rep.local = local_pattern(log, threads);
+  rep.global = global_pattern(log, threads);
   return rep;
 }
 

@@ -6,41 +6,46 @@
 
 namespace pfsem::core {
 
-TuningReport per_file_tuning(const AccessLog& log) {
-  using vfs::ConsistencyModel;
+namespace {
 
-  // Per-file conflict class flags. The capped example list may omit
-  // pairs, so recompute per-file *presence* flags from the accesses
-  // directly (cheap: reuses the overlap sweep per file).
-  struct Flags {
-    bool session_d = false, commit_d = false;
-    bool any_pair = false;
-    std::uint64_t session_pairs = 0, commit_pairs = 0;
-  };
-  std::map<std::string, Flags> flags;
-  for (const auto& [path, fl] : log.files) {
-    Flags& f = flags[path];
-    for (const auto& p : detect_overlaps(fl.accesses)) {
-      const Access* a = &fl.accesses[p.first];
-      const Access* b = &fl.accesses[p.second];
-      if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
-      if (a->type != AccessType::Write) continue;
-      f.any_pair = true;
-      const bool same = a->rank == b->rank;
-      if (a->t_commit > b->t) {
-        ++f.commit_pairs;
-        if (!same) f.commit_d = true;
-      }
-      if (!(a->t_close < b->t_open)) {
-        ++f.session_pairs;
-        if (!same) f.session_d = true;
-      }
+/// Per-file conflict class flags. The capped example list may omit
+/// pairs, so presence flags are computed from the full pair set of each
+/// file, not from ConflictReport examples.
+struct Flags {
+  bool session_d = false, commit_d = false;
+  bool any_pair = false;
+  std::uint64_t session_pairs = 0, commit_pairs = 0;
+};
+
+Flags classify_pairs(const FileLog& fl, std::span<const OverlapPair> pairs) {
+  Flags f;
+  for (const auto& p : pairs) {
+    const Access* a = &fl.accesses[p.first];
+    const Access* b = &fl.accesses[p.second];
+    if (b->t < a->t || (b->t == a->t && b->rank < a->rank)) std::swap(a, b);
+    if (a->type != AccessType::Write) continue;
+    f.any_pair = true;
+    const bool same = a->rank == b->rank;
+    if (a->t_commit > b->t) {
+      ++f.commit_pairs;
+      if (!same) f.commit_d = true;
+    }
+    if (!(a->t_close < b->t_open)) {
+      ++f.session_pairs;
+      if (!same) f.session_d = true;
     }
   }
+  return f;
+}
 
+TuningReport assemble(const AccessLog& log,
+                      const std::map<std::string, Flags>& flags) {
+  using vfs::ConsistencyModel;
   TuningReport out;
   for (const auto& [path, fl] : log.files) {
-    const Flags& f = flags[path];
+    const auto it = flags.find(path);
+    static const Flags kNone;
+    const Flags& f = it != flags.end() ? it->second : kNone;
     FileTuning ft;
     ft.path = path;
     ft.bytes = fl.read_bytes() + fl.write_bytes();
@@ -61,6 +66,22 @@ TuningReport per_file_tuning(const AccessLog& log) {
     out.files.push_back(std::move(ft));
   }
   return out;
+}
+
+}  // namespace
+
+TuningReport per_file_tuning(const AccessLog& log, int threads) {
+  return per_file_tuning(log, detect_file_overlaps(log, {}, threads));
+}
+
+TuningReport per_file_tuning(const AccessLog& log, const FileOverlaps& pairs) {
+  std::map<std::string, Flags> flags;
+  for (const auto& [path, fl] : log.files) {
+    const auto it = pairs.find(path);
+    if (it == pairs.end()) continue;
+    flags.emplace(path, classify_pairs(fl, it->second));
+  }
+  return assemble(log, flags);
 }
 
 }  // namespace pfsem::core

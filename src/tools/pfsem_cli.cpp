@@ -18,6 +18,8 @@
 //                    "eio:p=0.01,ops=write;crash:rank=3,t=2ms"
 //   --fault-seed S   fault-injection seed (default 1)
 //   --retries N      I/O retries per op after the first attempt (default 0)
+//   --threads N      analysis threads (default 0 = all hardware threads;
+//                    output is byte-identical for every N)
 
 #include <cstring>
 #include <fstream>
@@ -52,6 +54,7 @@ struct Options {
   std::string faults;    // fault plan spec ("" = fault-free)
   std::uint64_t fault_seed = 1;
   int retries = 0;  // retries per op after the first attempt
+  int threads = 0;  // analysis threads (0 = all hardware threads)
   // Filled by obtain() when the run executed under fault injection.
   bool ran_faults = false;
   fault::FaultStats fault_stats;
@@ -67,7 +70,8 @@ int usage() {
                "  pfsem report <config|trace.trc> [options]\n"
                "  pfsem advise <config|trace.trc> [options]\n"
                "  pfsem tune <config|trace.trc> [options]\n"
-               "  pfsem remedy <config|trace.trc> [--strict] [options]\n";
+               "  pfsem remedy <config|trace.trc> [--strict] [options]\n"
+               "common options: --threads N (0 = all cores)\n";
   return 2;
 }
 
@@ -87,6 +91,7 @@ Options parse_options(int argc, char** argv, int first) {
     else if (a == "--faults") opt.faults = next();
     else if (a == "--fault-seed") opt.fault_seed = std::stoull(next());
     else if (a == "--retries") opt.retries = std::stoi(next());
+    else if (a == "--threads") opt.threads = std::stoi(next());
     else throw Error("unknown option " + a);
   }
   return opt;
@@ -126,16 +131,19 @@ trace::TraceBundle obtain(const std::string& what, Options& opt) {
   return trace::read_binary(is);
 }
 
-void print_report(const trace::TraceBundle& bundle) {
+void print_report(const trace::TraceBundle& bundle, int threads) {
   const auto log = core::reconstruct_accesses(bundle);
-  const auto report = core::detect_conflicts(log);
+  // Sweep every file once; conflict detection reuses the pairs.
+  const auto pairs = core::detect_file_overlaps(log, {}, threads);
+  const auto report = core::detect_conflicts(log, pairs, {.threads = threads});
   const auto pattern = core::classify_high_level(log, bundle.nranks);
-  const auto local = core::local_pattern(log);
-  const auto global = core::global_pattern(log);
+  const auto local = core::local_pattern(log, threads);
+  const auto global = core::global_pattern(log, threads);
   const auto census = core::census_metadata(bundle);
   core::HappensBefore hb(bundle.comm, bundle.nranks);
-  const auto advice = core::advise(report, &hb);
-  const auto meta = core::detect_metadata_dependencies(bundle, &hb);
+  const auto advice = core::advise(report, &hb, threads);
+  const auto meta =
+      core::detect_metadata_dependencies(bundle, &hb, {.threads = threads});
 
   std::cout << "ranks: " << bundle.nranks
             << "   records: " << bundle.records.size()
@@ -165,9 +173,9 @@ void print_report(const trace::TraceBundle& bundle) {
             << "\n  " << advice.rationale << "\n";
 }
 
-void print_tuning(const trace::TraceBundle& bundle) {
+void print_tuning(const trace::TraceBundle& bundle, int threads) {
   const auto log = core::reconstruct_accesses(bundle);
-  const auto tuning = core::per_file_tuning(log);
+  const auto tuning = core::per_file_tuning(log, threads);
   Table t({"file", "weakest model", "bytes", "session pairs", "commit pairs"});
   for (const auto& f : tuning.files) {
     t.add_row({f.path, vfs::to_string(f.weakest), std::to_string(f.bytes),
@@ -196,7 +204,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "run" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
-      print_report(obtain(argv[2], opt));
+      print_report(obtain(argv[2], opt), opt.threads);
       if (opt.ran_faults) {
         std::cout << "\n";
         core::print_degraded(apps::degraded_summary(opt.fault_stats),
@@ -223,16 +231,18 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "analyze" && argc >= 3) {
-      Options opt;
-      print_report(obtain(argv[2], opt));
+      auto opt = parse_options(argc, argv, 3);
+      print_report(obtain(argv[2], opt), opt.threads);
       return 0;
     }
     if (cmd == "report" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
       const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
-      const auto conflicts = core::detect_conflicts(log);
-      auto rep = core::build_report(bundle, log, conflicts);
+      const auto pairs = core::detect_file_overlaps(log, {}, opt.threads);
+      const auto conflicts =
+          core::detect_conflicts(log, pairs, {.threads = opt.threads});
+      auto rep = core::build_report(bundle, log, conflicts, opt.threads);
       if (opt.ran_faults) {
         rep.degraded = apps::degraded_summary(opt.fault_stats);
       }
@@ -243,16 +253,18 @@ int main(int argc, char** argv) {
       auto opt = parse_options(argc, argv, 3);
       const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
-      const auto report = core::detect_conflicts(log);
+      const auto report =
+          core::detect_conflicts(log, {.threads = opt.threads});
       core::HappensBefore hb(bundle.comm, bundle.nranks);
-      const auto advice = core::advise(report, &hb);
+      const auto advice = core::advise(report, &hb, opt.threads);
       std::cout << vfs::to_string(advice.weakest) << "\n" << advice.rationale
                 << "\n";
       return 0;
     }
     if (cmd == "tune" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
-      print_tuning(obtain(argv[2], opt));
+      const auto bundle = obtain(argv[2], opt);
+      print_tuning(bundle, opt.threads);
       return 0;
     }
     if (cmd == "remedy" && argc >= 3) {

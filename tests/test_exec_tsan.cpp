@@ -1,0 +1,53 @@
+// ThreadSanitizer exercise for pfsem::exec (built only when -DPFSEM_TSAN=ON;
+// plain main so the gtest runtime doesn't pollute the TSan report). Drives
+// the pool through the access patterns the analysis pipeline uses — slot
+// writes, shared read-only input, repeated jobs, exceptions — so a data
+// race in the deque/steal/publication logic shows up as a TSan error and a
+// nonzero exit.
+
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "pfsem/exec/pool.hpp"
+
+int main() {
+  using pfsem::exec::ThreadPool;
+
+  // Slot-write pattern: every task writes its own slot, caller reduces.
+  for (const int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    const std::vector<int> input(20'000, 3);
+    std::vector<long> out(input.size());
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_for(input.size(),
+                        [&](std::size_t i) { out[i] = input[i] * round; });
+      const long sum = std::accumulate(out.begin(), out.end(), 0l);
+      if (sum != static_cast<long>(input.size()) * 3 * round) {
+        std::fprintf(stderr, "bad sum %ld in round %d\n", sum, round);
+        return 1;
+      }
+    }
+
+    // Atomic-counter pattern + exception propagation under contention.
+    std::atomic<int> hits{0};
+    try {
+      pool.parallel_for(10'000, [&](std::size_t i) {
+        ++hits;
+        if (i == 9'999) throw std::runtime_error("expected");
+      });
+    } catch (const std::runtime_error&) {
+    }
+    // Pool must stay usable after a failed job.
+    hits = 0;
+    pool.parallel_for(1'000, [&](std::size_t) { ++hits; });
+    if (hits.load() != 1'000) {
+      std::fprintf(stderr, "pool broken after exception: %d\n", hits.load());
+      return 1;
+    }
+  }
+  std::puts("tsan exercise passed");
+  return 0;
+}
