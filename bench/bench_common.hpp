@@ -47,7 +47,7 @@ inline Analysis analyze_app(const apps::AppInfo& info,
   Analysis a;
   a.bundle = apps::run_app(info, cfg, pfs_cfg, std::move(clocks));
   a.log = core::reconstruct_accesses(a.bundle);
-  a.report = core::detect_conflicts(a.log, {.threads = threads});
+  a.report = core::detect_conflicts(a.log, core::ConflictOptions{.threads = threads});
   a.pattern = core::classify_high_level(a.log, cfg.nranks);
   a.local = core::local_pattern(a.log, threads);
   a.global = core::global_pattern(a.log, threads);

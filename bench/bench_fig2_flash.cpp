@@ -58,8 +58,9 @@ void dump_csv(const std::string& path, const core::FileLog& fl,
 
 const core::FileLog* find_file(const core::AccessLog& log,
                                const std::string& needle) {
-  for (const auto& [path, fl] : log.files) {
-    if (path.find(needle) != std::string::npos) return &fl;
+  for (const auto& fl : log.files) {
+    if (!fl.active()) continue;
+    if (log.path(fl.file).find(needle) != std::string::npos) return &fl;
   }
   return nullptr;
 }

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "pfsem/core/conflict.hpp"
+#include "pfsem/trace/record.hpp"
 #include "pfsem/core/offset_tracker.hpp"
 #include "pfsem/core/overlap.hpp"
 #include "pfsem/exec/pool.hpp"
@@ -61,7 +63,7 @@ core::AccessLog make_conflict_log(std::size_t nfiles,
   log.nranks = 64;
   Rng rng(1234);
   for (std::size_t f = 0; f < nfiles; ++f) {
-    auto& fl = log.files["/scratch/run/ckpt." + std::to_string(f)];
+    auto& fl = log.file("/scratch/run/ckpt." + std::to_string(f));
     for (std::size_t i = 0; i < accesses_per_file; ++i) {
       core::Access a;
       a.rank = static_cast<Rank>(rng.below(64));
@@ -115,7 +117,7 @@ std::string fingerprint(const core::ConflictReport& r) {
      << r.commit.count << r.commit.waw_s << r.commit.waw_d << r.commit.raw_s
      << r.commit.raw_d << '\n';
   for (const auto& c : r.conflicts) {
-    os << c.path << ' ' << c.first.rank << ' ' << c.first.t << ' '
+    os << c.file << ' ' << c.first.rank << ' ' << c.first.t << ' '
        << c.first.ext.begin << ' ' << c.first.ext.end << ' ' << c.second.rank
        << ' ' << c.second.t << ' ' << c.second.ext.begin << ' '
        << c.second.ext.end << ' ' << static_cast<int>(c.kind) << ' '
@@ -129,6 +131,58 @@ struct ThreadPoint {
   double seconds;
 };
 
+/// Synthetic raw trace for the intern-vs-string grouping experiment:
+/// `nrecords` data records spread round-robin over `nfiles` paths with
+/// realistic path lengths (directory prefix + numbered leaf).
+trace::TraceBundle make_bundle(std::size_t nfiles, std::size_t nrecords) {
+  trace::TraceBundle bundle;
+  bundle.nranks = 64;
+  std::vector<FileId> ids;
+  ids.reserve(nfiles);
+  for (std::size_t f = 0; f < nfiles; ++f) {
+    ids.push_back(bundle.intern("/scratch/project/run.0042/output/ckpt." +
+                                std::to_string(f) + ".h5"));
+  }
+  Rng rng(99);
+  for (std::size_t i = 0; i < nrecords; ++i) {
+    trace::Record rec;
+    rec.tstart = static_cast<SimTime>(i * 10);
+    rec.tend = rec.tstart + 5;
+    rec.rank = static_cast<Rank>(rng.below(64));
+    rec.layer = trace::Layer::Posix;
+    rec.func = trace::Func::pwrite;
+    rec.offset = static_cast<std::int64_t>(rng.below(1u << 20)) * 4096;
+    rec.count = 4096;
+    rec.ret = 4096;
+    rec.file = ids[i % nfiles];
+    bundle.records.push_back(std::move(rec));
+  }
+  return bundle;
+}
+
+/// Per-record file grouping the way the retired design did it: resolve
+/// every record to its path string and look the string up in a
+/// string-keyed ordered map (what `AccessLog` used to be built on).
+std::size_t group_by_string(const trace::TraceBundle& bundle) {
+  std::map<std::string, std::vector<const trace::Record*>> groups;
+  for (const auto& rec : bundle.records) {
+    groups[std::string(bundle.path_of(rec))].push_back(&rec);
+  }
+  return groups.size();
+}
+
+/// The same grouping on the interned representation: the FileId indexes a
+/// dense vector directly, no hashing or string compares per record.
+std::size_t group_by_id(const trace::TraceBundle& bundle) {
+  std::vector<std::vector<const trace::Record*>> groups(bundle.paths.size());
+  for (const auto& rec : bundle.records) {
+    groups[rec.file].push_back(&rec);
+  }
+  std::size_t active = 0;
+  for (const auto& g : groups) active += !g.empty();
+  return active;
+}
+
 int run(bool check, const std::string& out_path) {
   const int cores = exec::hardware_threads();
   const std::size_t nfiles = check ? 32 : 128;
@@ -140,14 +194,14 @@ int run(bool check, const std::string& out_path) {
 
   // --- experiment 1: thread scaling of detect_conflicts ----------------
   const auto log = make_conflict_log(nfiles, per_file);
-  const auto reference = core::detect_conflicts(log, {.threads = 1});
+  const auto reference = core::detect_conflicts(log, core::ConflictOptions{.threads = 1});
   const std::string ref_print = fingerprint(reference);
 
   std::vector<ThreadPoint> points;
   for (const int t : {1, 2, 4, 8}) {
     core::ConflictReport got;
     const double secs = best_of(
-        reps, [&] { got = core::detect_conflicts(log, {.threads = t}); });
+        reps, [&] { got = core::detect_conflicts(log, core::ConflictOptions{.threads = t}); });
     if (fingerprint(got) != ref_print) {
       std::cerr << "FAIL: detect_conflicts(threads=" << t
                 << ") differs from sequential\n";
@@ -172,6 +226,28 @@ int run(bool check, const std::string& out_path) {
   std::cout << "sweep " << sweep_s << " s   scan " << scan_s
             << " s   speedup " << sweep_speedup << "x\n";
 
+  // --- experiment 3: interned vs string-keyed record grouping -----------
+  // The refactor's core claim: resolving each record's file by FileId into
+  // a dense column beats hashing/comparing its path string into a
+  // string-keyed map (the retired reconstruction hot path).
+  const std::size_t rec_files = check ? 512 : 2'048;
+  const std::size_t rec_records = check ? 400'000 : 4'000'000;
+  const auto bundle = make_bundle(rec_files, rec_records);
+  std::size_t string_groups = 0, id_groups = 0;
+  const double string_s =
+      best_of(reps, [&] { string_groups = group_by_string(bundle); });
+  const double interned_s =
+      best_of(reps, [&] { id_groups = group_by_id(bundle); });
+  if (string_groups != id_groups) {
+    std::cerr << "FAIL: interned grouping found " << id_groups
+              << " files, string grouping found " << string_groups << "\n";
+    return 1;
+  }
+  const double intern_speedup = string_s / interned_s;
+  std::cout << "reconstruction grouping: string-keyed " << string_s
+            << " s   interned " << interned_s << " s   speedup "
+            << intern_speedup << "x\n";
+
   if (check) {
     // Parallel output already proven identical above. Speedup bounds:
     // the algorithmic sweep-vs-scan win holds on any machine; the
@@ -179,6 +255,13 @@ int run(bool check, const std::string& out_path) {
     if (sweep_speedup < 5.0) {
       std::cerr << "FAIL: sweep-vs-scan speedup " << sweep_speedup
                 << "x below the 5x bound\n";
+      return 1;
+    }
+    // Dense FileId indexing must beat per-record string-map lookups on any
+    // host; 1.5x is a deliberately loose floor (typically 5-20x).
+    if (intern_speedup < 1.5) {
+      std::cerr << "FAIL: interned grouping speedup " << intern_speedup
+                << "x below the 1.5x bound\n";
       return 1;
     }
     if (cores >= 2) {
@@ -225,6 +308,13 @@ int run(bool check, const std::string& out_path) {
      << "    \"sweep_seconds\": " << sweep_s << ",\n"
      << "    \"scan_seconds\": " << scan_s << ",\n"
      << "    \"speedup\": " << sweep_speedup << "\n"
+     << "  },\n"
+     << "  \"reconstruction_grouping\": {\n"
+     << "    \"files\": " << rec_files << ",\n"
+     << "    \"records\": " << rec_records << ",\n"
+     << "    \"string_keyed_seconds\": " << string_s << ",\n"
+     << "    \"interned_seconds\": " << interned_s << ",\n"
+     << "    \"speedup\": " << intern_speedup << "\n"
      << "  }\n"
      << "}\n";
   std::cout << "wrote " << out_path << "\n";

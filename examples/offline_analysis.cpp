@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   std::cout << "high-level pattern: " << pattern.xy << " "
             << core::to_string(pattern.layout) << " (dominant file "
             << pattern.dominant_file << ")\n";
-  std::cout << "files touched: " << log.files.size()
+  std::cout << "files touched: " << log.file_count()
             << ", potential-conflict pairs: " << report.potential_pairs << "\n";
   std::cout << "session-semantics conflict classes:"
             << (report.session.waw_s ? " WAW-S" : "")
@@ -65,15 +65,16 @@ int main(int argc, char** argv) {
   // Per-file conflict detail, like the per-application reports the paper
   // publishes alongside its traces.
   Table t({"file", "accesses", "session pairs", "commit pairs"});
-  for (const auto& [fpath, fl] : log.files) {
+  for (const FileId id : log.ids_by_path()) {
+    const auto& fl = log.files[id];
     std::uint64_t nsess = 0, ncommit = 0;
     for (const auto& c : report.conflicts) {
-      if (c.path != fpath) continue;
+      if (c.file != id) continue;
       nsess += c.under_session ? 1 : 0;
       ncommit += c.under_commit ? 1 : 0;
     }
     if (nsess + ncommit == 0) continue;
-    t.add_row({fpath, std::to_string(fl.accesses.size()),
+    t.add_row({std::string(log.path(id)), std::to_string(fl.accesses.size()),
                std::to_string(nsess), std::to_string(ncommit)});
   }
   if (t.rows() > 0) {

@@ -70,7 +70,7 @@ int main() {
             << " (the fsync before the barrier is the commit)\n";
   for (const auto& c : report.conflicts) {
     std::cout << "  " << core::to_string(c.kind) << "-"
-              << (c.same_process ? 'S' : 'D') << " on " << c.path << ": rank "
+              << (c.same_process ? 'S' : 'D') << " on " << log.path(c.file) << ": rank "
               << c.first.rank << " wrote " << c.first.ext << " at "
               << to_seconds(c.first.t) << "s, rank " << c.second.rank << " "
               << core::to_string(c.second.type) << " at "

@@ -30,8 +30,7 @@ void merge(ConflictMatrix& into, const ConflictMatrix& part) {
 /// original sequential detect_conflicts, verbatim, over precomputed
 /// (canonical-order) pairs. Runs as one shard task; shard results merge
 /// in file order, so parallel output is byte-identical to sequential.
-ConflictReport evaluate_file(const std::string& path,
-                             std::span<const Access> accesses,
+ConflictReport evaluate_file(FileId file, std::span<const Access> accesses,
                              std::span<const OverlapPair> pairs,
                              const ConflictOptions& opts) {
   ConflictReport part;
@@ -57,7 +56,7 @@ ConflictReport evaluate_file(const std::string& path,
     if (under_session) note(part.session, kind, same);
     if (kept_for_file < opts.max_examples_per_file) {
       Conflict c;
-      c.path = path;
+      c.file = file;
       c.first = *a;
       c.second = *b;
       c.kind = kind;
@@ -96,7 +95,8 @@ ConflictReport detect_conflicts(const AccessLog& log, ConflictOptions opts) {
   // Stage 2: semantics conditions, one task per file.
   std::vector<ConflictReport> parts(flat.files.size());
   pool.parallel_for(flat.files.size(), [&](std::size_t f) {
-    parts[f] = evaluate_file(*flat.files[f].path, flat.accesses(f), pairs[f], opts);
+    parts[f] =
+        evaluate_file(flat.files[f].file, flat.accesses(f), pairs[f], opts);
   });
   return merge_file_parts(std::move(parts));
 }
@@ -107,9 +107,9 @@ ConflictReport detect_conflicts(const AccessLog& log, const FileOverlaps& pairs,
   exec::ThreadPool pool(opts.threads);
   std::vector<ConflictReport> parts(flat.files.size());
   pool.parallel_for(flat.files.size(), [&](std::size_t f) {
-    const auto it = pairs.find(*flat.files[f].path);
-    if (it == pairs.end()) return;
-    parts[f] = evaluate_file(*flat.files[f].path, flat.accesses(f), it->second, opts);
+    if (f >= pairs.size() || pairs[f].empty()) return;
+    parts[f] =
+        evaluate_file(flat.files[f].file, flat.accesses(f), pairs[f], opts);
   });
   return merge_file_parts(std::move(parts));
 }

@@ -15,8 +15,6 @@
 // A write-after-read pair can never conflict (the read completes before
 // the write starts in a race-free program), so it is not reported.
 
-#include <map>
-#include <string>
 #include <vector>
 
 #include "pfsem/core/access.hpp"
@@ -31,8 +29,10 @@ enum class ConflictKind : std::uint8_t { WAW, RAW };
 }
 
 /// One potential-conflict pair and its status under each semantics.
+/// The file is carried as its interned id; resolve against the store's
+/// (or bundle's) PathTable for display.
 struct Conflict {
-  std::string path;
+  FileId file = kNoFile;
   Access first;   ///< the earlier access (always a write)
   Access second;  ///< the later access
   ConflictKind kind = ConflictKind::WAW;

@@ -18,7 +18,6 @@
 // metadata analogue of a data race.
 
 #include <map>
-#include <string>
 #include <vector>
 
 #include "pfsem/core/happens_before.hpp"
@@ -28,12 +27,13 @@ namespace pfsem::core {
 
 enum class NsOpKind : std::uint8_t { Mutate, Observe };
 
-/// One namespace-affecting operation.
+/// One namespace-affecting operation. The path is carried as its
+/// interned id; resolve against the bundle's PathTable for display.
 struct NsOp {
   SimTime t = 0;
   Rank rank = kNoRank;
   trace::Func func = trace::Func::open;
-  std::string path;
+  FileId file = kNoFile;
   NsOpKind kind = NsOpKind::Observe;
   /// Hard observations *require* the name to exist (open without O_CREAT,
   /// readdir); soft ones are successful stat/access probes whose callers
@@ -55,8 +55,9 @@ struct MetadataConflictReport {
   std::uint64_t unsynchronized = 0;
   std::uint64_t hard_cross_process = 0;
   std::uint64_t hard_unsynchronized = 0;
-  /// Distinct paths involved in cross-process dependencies.
-  std::map<std::string, std::uint64_t> paths;
+  /// Distinct paths (by interned id) involved in cross-process
+  /// dependencies, with their dependency counts.
+  std::map<FileId, std::uint64_t> paths;
 
   /// Safe on a lazily-consistent metadata PFS *provided* it publishes
   /// metadata on synchronization boundaries: every dependency whose

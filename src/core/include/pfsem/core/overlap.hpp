@@ -24,9 +24,7 @@
 // the sorted order or the early-break condition of the scan).
 
 #include <cstddef>
-#include <map>
 #include <span>
-#include <string>
 #include <vector>
 
 #include "pfsem/core/access.hpp"
@@ -75,8 +73,10 @@ struct OverlapOptions {
 
 /// Per-file overlap pairs for a whole log, computed once so downstream
 /// consumers (conflict detection, tuning, the rank table) stop redoing
-/// the sweep per call site. Sharded over `threads` (1 = sequential).
-using FileOverlaps = std::map<std::string, std::vector<OverlapPair>, std::less<>>;
+/// the sweep per call site. Indexed by FileId (== store slot index);
+/// inactive slots hold empty vectors. Sharded over `threads`
+/// (1 = sequential).
+using FileOverlaps = std::vector<std::vector<OverlapPair>>;
 [[nodiscard]] FileOverlaps detect_file_overlaps(const AccessLog& log,
                                                 OverlapOptions opts = {},
                                                 int threads = 1);

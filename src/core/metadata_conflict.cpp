@@ -48,9 +48,11 @@ bool is_plain_mutate(Func f) {
 MetadataConflictReport detect_metadata_dependencies(
     const trace::TraceBundle& bundle, const HappensBefore* hb,
     MetadataConflictOptions opts) {
-  // Collect namespace ops in timestamp order.
+  const std::size_t npaths = bundle.paths.size();
+  // Collect namespace ops in timestamp order. All per-path state below is
+  // a FileId-indexed vector over the bundle's intern table.
   std::vector<NsOp> ops;
-  std::map<std::string, bool> created;  // path -> already seen a create
+  std::vector<unsigned char> created(npaths, 0);  // id -> create seen
   std::vector<std::size_t> order;
   for (std::size_t i = 0; i < bundle.records.size(); ++i) {
     if (bundle.records[i].layer == trace::Layer::Posix) order.push_back(i);
@@ -60,17 +62,17 @@ MetadataConflictReport detect_metadata_dependencies(
   });
   for (std::size_t idx : order) {
     const auto& rec = bundle.records[idx];
-    if (rec.path.empty()) continue;
+    if (!rec.has_path() || bundle.paths.view(rec.file).empty()) continue;
     NsOp op;
     op.t = rec.tstart;
     op.rank = rec.rank;
     op.func = rec.func;
-    op.path = rec.path;
+    op.file = rec.file;
     if (rec.func == Func::open && rec.ret >= 0) {
-      bool& was_created = created[rec.path];
+      unsigned char& was_created = created[rec.file];
       if (rec.flags & trace::kCreate) {
         if (was_created) continue;  // concurrent O_CREAT: create-tolerant
-        was_created = true;
+        was_created = 1;
         op.kind = NsOpKind::Mutate;  // this open created the file
       } else {
         op.kind = NsOpKind::Observe;  // the name *must* already exist
@@ -85,7 +87,7 @@ MetadataConflictReport detect_metadata_dependencies(
     } else {
       continue;
     }
-    ops.push_back(std::move(op));
+    ops.push_back(op);
   }
 
   // Pair each op with the nearest preceding mutation of the same path by
@@ -93,17 +95,25 @@ MetadataConflictReport detect_metadata_dependencies(
   // and its ancestor directories, all of which share the path's first
   // component ("out.bp" for "out.bp/data.0", "/scratch" for
   // "/scratch/run/chk.h5"), so ops shard by that component and each
-  // shard walks its subset in global trace order independently.
-  auto shard_key = [](const std::string& path) {
-    return std::string_view(path).substr(0, path.find('/', 1));
-  };
-  std::map<std::string_view, std::vector<std::size_t>> groups;
+  // shard walks its subset in global trace order independently. Shard
+  // keys are interned like paths: dense shard ids, vector-of-vectors
+  // grouping instead of a string-keyed map.
+  trace::PathTable shard_keys;
+  std::vector<FileId> shard_of_file(npaths, kNoFile);
+  std::vector<std::vector<std::size_t>> shards;
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    groups[shard_key(ops[i].path)].push_back(i);
+    FileId& s = shard_of_file[ops[i].file];
+    if (s == kNoFile) {
+      const std::string_view path = bundle.paths.view(ops[i].file);
+      s = shard_keys.intern(path.substr(0, path.find('/', 1)));
+      if (s >= shards.size()) shards.resize(s + 1);
+    }
+    shards[s].push_back(i);
   }
-  std::vector<const std::vector<std::size_t>*> shards;
-  shards.reserve(groups.size());
-  for (const auto& [key, indices] : groups) shards.push_back(&indices);
+
+  // Every path (and each of its ancestors) belongs to exactly one shard,
+  // so the shards write disjoint slots of this shared last-mutate column.
+  std::vector<const NsOp*> last_mutate(npaths, nullptr);
 
   struct Part {
     MetadataConflictReport report;
@@ -112,29 +122,26 @@ MetadataConflictReport detect_metadata_dependencies(
   std::vector<Part> parts(shards.size());
   exec::parallel_for(opts.threads, shards.size(), [&](std::size_t s) {
     Part& part = parts[s];
-    std::map<std::string, const NsOp*> last_mutate;
     // Nearest preceding mutation of this exact path, or of an ancestor
     // directory (creating "out.bp" is what makes "out.bp/data.0"
-    // reachable).
-    auto find_mutate = [&](const std::string& path) -> const NsOp* {
-      if (auto it = last_mutate.find(path); it != last_mutate.end()) {
-        return it->second;
-      }
-      for (auto pos = path.rfind('/'); pos != std::string::npos && pos > 0;
+    // reachable). Ancestors resolve through the intern table; a prefix
+    // that was never interned was never mutated in the trace.
+    auto find_mutate = [&](FileId file) -> const NsOp* {
+      if (const NsOp* m = last_mutate[file]) return m;
+      const std::string_view path = bundle.paths.view(file);
+      for (auto pos = path.rfind('/'); pos != std::string_view::npos && pos > 0;
            pos = path.rfind('/', pos - 1)) {
-        if (auto it = last_mutate.find(path.substr(0, pos));
-            it != last_mutate.end()) {
-          return it->second;
-        }
+        const FileId anc = bundle.paths.find(path.substr(0, pos));
+        if (anc != kNoFile && last_mutate[anc]) return last_mutate[anc];
       }
       return nullptr;
     };
-    for (const std::size_t idx : *shards[s]) {
+    for (const std::size_t idx : shards[s]) {
       const NsOp& op = ops[idx];
-      if (const NsOp* m = find_mutate(op.path); m && m->rank != op.rank) {
+      if (const NsOp* m = find_mutate(op.file); m && m->rank != op.rank) {
         ++part.report.cross_process;
         if (op.hard) ++part.report.hard_cross_process;
-        ++part.report.paths[op.path];
+        ++part.report.paths[op.file];
         MetadataDependency dep;
         dep.mutate = *m;
         dep.observe = op;
@@ -155,7 +162,7 @@ MetadataConflictReport detect_metadata_dependencies(
         }
       }
       // Pointers into `ops` stay valid: the vector is fully built above.
-      if (op.kind == NsOpKind::Mutate) last_mutate[op.path] = &op;
+      if (op.kind == NsOpKind::Mutate) last_mutate[op.file] = &op;
     }
   });
 

@@ -1,6 +1,7 @@
 #include "pfsem/core/offset_tracker.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "pfsem/util/error.hpp"
 
@@ -9,7 +10,7 @@ namespace pfsem::core {
 namespace {
 
 struct FdState {
-  std::string path;
+  FileId file = kNoFile;
   Offset offset = 0;
   int flags = 0;
 };
@@ -32,12 +33,14 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
 
   AccessLog log;
   log.nranks = bundle.nranks;
+  // Adopt the bundle's intern table: record FileIds are store FileIds.
+  log.paths = bundle.paths;
+  log.files.resize(log.paths.size());
   std::map<std::pair<Rank, int>, FdState> fds;
-  std::map<std::string, Offset> sizes;  // most up-to-date size per file
+  std::vector<Offset> sizes(log.paths.size(), 0);  // up-to-date size per file
 
-  auto add_access = [&](const trace::Record& rec, std::size_t index,
-                        const std::string& path, Offset off, std::uint64_t len,
-                        AccessType type) {
+  auto add_access = [&](const trace::Record& rec, std::size_t index, FileId f,
+                        Offset off, std::uint64_t len, AccessType type) {
     if (len == 0) return;
     Access a;
     a.t = rec.tstart;
@@ -45,18 +48,17 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
     a.ext = {off, off + len};
     a.type = type;
     a.record_index = index;
-    auto& fl = log.files[path];
-    if (fl.path.empty()) fl.path = path;
-    fl.accesses.push_back(a);
+    log.file(f).accesses.push_back(a);
     if (type == AccessType::Write) {
-      Offset& size = sizes[path];
+      Offset& size = sizes[f];
       size = std::max(size, a.ext.end);
     }
     if (opts.validate_against_ground_truth &&
         (rec.func == Func::read || rec.func == Func::write ||
          rec.func == Func::pread || rec.func == Func::pwrite)) {
       require(off == rec.offset,
-              "offset reconstruction mismatch on " + path + ": got " +
+              "offset reconstruction mismatch on " +
+                  std::string(log.paths.view(f)) + ": got " +
                   std::to_string(off) + ", truth " + std::to_string(rec.offset));
     }
   };
@@ -67,21 +69,20 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
     switch (rec.func) {
       case Func::open: {
         require(rec.ret >= 0, "trace contains failed open");
+        require(rec.file != kNoFile, "open record without a path");
         FdState st;
-        st.path = rec.path;
+        st.file = rec.file;
         st.flags = rec.flags;
-        if (rec.flags & trace::kTrunc) sizes[st.path] = 0;
+        if (rec.flags & trace::kTrunc) sizes[st.file] = 0;
         st.offset = 0;
         fds[{rec.rank, static_cast<int>(rec.ret)}] = st;
-        auto& fl = log.files[rec.path];
-        if (fl.path.empty()) fl.path = rec.path;
-        fl.opens[rec.rank].push_back(rec.tstart);
+        log.file(rec.file).opens[rec.rank].push_back(rec.tstart);
         break;
       }
       case Func::close: {
         auto it = fds.find(key);
         if (it != fds.end()) {
-          auto& fl = log.files[it->second.path];
+          auto& fl = log.file(it->second.file);
           fl.closes[rec.rank].push_back(rec.tstart);
           fl.commits[rec.rank].push_back(rec.tstart);
           fds.erase(it);
@@ -95,9 +96,9 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
         FdState& st = it->second;
         const bool is_write = rec.func == Func::write;
         Offset off = st.offset;
-        if (is_write && (st.flags & trace::kAppend)) off = sizes[st.path];
+        if (is_write && (st.flags & trace::kAppend)) off = sizes[st.file];
         const auto len = static_cast<std::uint64_t>(rec.ret);
-        add_access(rec, index, st.path, off, len,
+        add_access(rec, index, st.file, off, len,
                    is_write ? AccessType::Write : AccessType::Read);
         st.offset = off + len;
         break;
@@ -106,7 +107,7 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
       case Func::pwrite: {
         auto it = fds.find(key);
         require(it != fds.end(), "pread/pwrite on unknown fd in trace");
-        add_access(rec, index, it->second.path, rec.offset,
+        add_access(rec, index, it->second.file, rec.offset,
                    static_cast<std::uint64_t>(rec.ret),
                    rec.func == Func::pwrite ? AccessType::Write
                                             : AccessType::Read);
@@ -122,7 +123,7 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
           case trace::kSeekSet: base = 0; break;
           case trace::kSeekCur: base = static_cast<std::int64_t>(st.offset); break;
           case trace::kSeekEnd:
-            base = static_cast<std::int64_t>(sizes[st.path]);
+            base = static_cast<std::int64_t>(sizes[st.file]);
             break;
           default: require(false, "bad whence in trace");
         }
@@ -133,12 +134,12 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
       case Func::fdatasync: {
         auto it = fds.find(key);
         require(it != fds.end(), "fsync on unknown fd in trace");
-        log.files[it->second.path].commits[rec.rank].push_back(rec.tstart);
+        log.file(it->second.file).commits[rec.rank].push_back(rec.tstart);
         break;
       }
       case Func::ftruncate: {
         auto it = fds.find(key);
-        if (it != fds.end()) sizes[it->second.path] = rec.offset;
+        if (it != fds.end()) sizes[it->second.file] = rec.offset;
         break;
       }
       default:
@@ -147,7 +148,7 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
   }
 
   // Annotate every access with (t_open, t_commit, t_close) per Section 5.2.
-  for (auto& [path, fl] : log.files) {
+  for (auto& fl : log.files) {
     for (auto& [rank, v] : fl.opens) std::sort(v.begin(), v.end());
     for (auto& [rank, v] : fl.closes) std::sort(v.begin(), v.end());
     for (auto& [rank, v] : fl.commits) std::sort(v.begin(), v.end());

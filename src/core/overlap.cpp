@@ -230,14 +230,11 @@ std::vector<std::vector<OverlapPair>> detect_file_overlaps(
 
 FileOverlaps detect_file_overlaps(const AccessLog& log, OverlapOptions opts,
                                   int threads) {
+  // Flat slices are built one per store slot, so the returned vector is
+  // already indexed by FileId.
   const auto flat = FlatAccessLog::from(log);
   exec::ThreadPool pool(threads);
-  auto parts = detect_file_overlaps(flat, opts, pool);
-  FileOverlaps out;
-  for (std::size_t f = 0; f < flat.files.size(); ++f) {
-    out.emplace(*flat.files[f].path, std::move(parts[f]));
-  }
-  return out;
+  return detect_file_overlaps(flat, opts, pool);
 }
 
 namespace {

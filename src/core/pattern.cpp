@@ -118,12 +118,11 @@ namespace {
 /// identical aggregate.
 TransitionMix sum_per_file(const AccessLog& log, int threads,
                            const std::function<TransitionMix(const FileLog&)>& per_file) {
-  std::vector<const FileLog*> files;
-  files.reserve(log.files.size());
-  for (const auto& [path, file] : log.files) files.push_back(&file);
-  std::vector<TransitionMix> parts(files.size());
-  exec::parallel_for(threads, files.size(),
-                     [&](std::size_t f) { parts[f] = per_file(*files[f]); });
+  // One task per store slot (FileId); inactive slots contribute an empty
+  // mix and integer sums make the merge order-invariant.
+  std::vector<TransitionMix> parts(log.files.size());
+  exec::parallel_for(threads, log.files.size(),
+                     [&](std::size_t f) { parts[f] = per_file(log.files[f]); });
   TransitionMix mix;
   for (const auto& p : parts) mix += p;
   return mix;
@@ -249,7 +248,7 @@ HighLevelPattern classify_high_level(const AccessLog& log, int nranks,
                                      PatternOptions opts) {
   // Group files into families: digit runs in the path are wildcards, so
   // "chk_0001" and "chk_0002" (or per-rank "out.17") are one family.
-  auto family_key = [](const std::string& path) {
+  auto family_key = [](std::string_view path) {
     std::string key;
     bool in_digits = false;
     for (char ch : path) {
@@ -270,11 +269,16 @@ HighLevelPattern classify_high_level(const AccessLog& log, int nranks,
     std::size_t max_writers_per_file = 0;
     std::size_t max_io_ranks_per_file = 0;
     int files = 0;
-    const FileLog* dominant = nullptr;
+    FileId dominant = kNoFile;
     std::uint64_t dominant_bytes = 0;
   };
-  std::map<std::string, Family> families;
-  for (const auto& [path, file] : log.files) {
+  // Families interned like paths: dense ids, Family slots in a vector.
+  // Files are visited in path order (the retired map's iteration order),
+  // so dominant-file ties resolve exactly as before.
+  trace::PathTable family_keys;
+  std::vector<Family> families;
+  for (const FileId id : log.ids_by_path()) {
+    const FileLog& file = log.files[id];
     const auto data = data_accesses(file, opts);
     std::uint64_t bytes = 0;
     std::set<Rank> writers, io_ranks;
@@ -284,7 +288,9 @@ HighLevelPattern classify_high_level(const AccessLog& log, int nranks,
       if (a->type == AccessType::Write) writers.insert(a->rank);
     }
     if (bytes == 0) continue;
-    Family& fam = families[family_key(path)];
+    const FileId fam_id = family_keys.intern(family_key(log.path(id)));
+    if (fam_id >= families.size()) families.resize(fam_id + 1);
+    Family& fam = families[fam_id];
     fam.bytes += bytes;
     fam.ranks.insert(io_ranks.begin(), io_ranks.end());
     fam.max_writers_per_file = std::max(fam.max_writers_per_file, writers.size());
@@ -293,16 +299,23 @@ HighLevelPattern classify_high_level(const AccessLog& log, int nranks,
     ++fam.files;
     if (bytes > fam.dominant_bytes) {
       fam.dominant_bytes = bytes;
-      fam.dominant = &file;
+      fam.dominant = id;
     }
   }
 
   HighLevelPattern out;
+  // Scan families in sorted-key order so byte-count ties pick the same
+  // family the string-keyed map did.
+  std::vector<FileId> fam_order(families.size());
+  for (FileId i = 0; i < families.size(); ++i) fam_order[i] = i;
+  std::sort(fam_order.begin(), fam_order.end(), [&](FileId a, FileId b) {
+    return family_keys.view(a) < family_keys.view(b);
+  });
   const Family* best = nullptr;
-  for (const auto& [key, fam] : families) {
-    if (!best || fam.bytes > best->bytes) best = &fam;
+  for (const FileId i : fam_order) {
+    if (!best || families[i].bytes > best->bytes) best = &families[i];
   }
-  if (!best || !best->dominant) {
+  if (!best || best->dominant == kNoFile) {
     out.xy = "0-0";
     return out;
   }
@@ -321,10 +334,10 @@ HighLevelPattern classify_high_level(const AccessLog& log, int nranks,
     y = 'M';  // group files
   }
   out.xy = std::string(1, x) + "-" + std::string(1, y);
-  out.layout = classify_file_layout(*best->dominant, opts);
+  out.layout = classify_file_layout(log.files[best->dominant], opts);
   out.io_ranks = w;
   out.family_files = best->files;
-  out.dominant_file = best->dominant->path;
+  out.dominant_file = std::string(log.path(best->dominant));
   return out;
 }
 

@@ -54,7 +54,7 @@ struct Aggregator {
 CacheBenefit estimate_cache_benefit(const AccessLog& log,
                                     CacheModelOptions opts) {
   CacheBenefit out;
-  for (const auto& [path, fl] : log.files) {
+  for (const auto& fl : log.files) {
     // Client side: per-rank sequences.
     std::map<Rank, std::vector<const Access*>> per_rank;
     for (const auto& a : fl.accesses) per_rank[a.rank].push_back(&a);

@@ -41,7 +41,10 @@ void collect_windows(const FileLog& fl, bool strict,
 
 RemedyPlan suggest_commits(const AccessLog& log, RemedyOptions opts) {
   RemedyPlan plan;
-  for (const auto& [path, fl] : log.files) {
+  // Suggestions are user-facing and promised in path order.
+  for (const FileId id : log.ids_by_path()) {
+    const FileLog& fl = log.files[id];
+    const std::string path{log.path(id)};
     std::map<Rank, std::vector<Window>> windows;
     collect_windows(fl, opts.strict, windows, plan.uncoverable);
     for (auto& [rank, v] : windows) {
@@ -75,17 +78,21 @@ RemedyPlan suggest_commits(const AccessLog& log, RemedyOptions opts) {
 
 ConflictMatrix verify_plan(const AccessLog& log, const RemedyPlan& plan,
                            RemedyOptions opts) {
-  // Augment the per-(path, rank) commit tables with the suggested points
-  // and re-evaluate condition 3.
-  std::map<std::pair<std::string, Rank>, std::vector<SimTime>> inserted;
+  // Augment the per-(file, rank) commit tables with the suggested points
+  // and re-evaluate condition 3. Suggestions carry display paths; resolve
+  // them back to ids once, so the lookup below is id-keyed.
+  std::map<std::pair<FileId, Rank>, std::vector<SimTime>> inserted;
   for (const auto& s : plan.commits) {
+    const FileId id = log.paths.find(s.path);
+    if (id == kNoFile) continue;
     // s.after + 1 is strictly inside every covered window by construction.
-    inserted[{s.path, s.rank}].push_back(s.after + 1);
+    inserted[{id, s.rank}].push_back(s.after + 1);
   }
   for (auto& [key, v] : inserted) std::sort(v.begin(), v.end());
 
   ConflictMatrix out;
-  for (const auto& [path, fl] : log.files) {
+  for (const FileId id : log.active_ids()) {
+    const FileLog& fl = log.files[id];
     for (const auto& p : detect_overlaps(fl.accesses)) {
       const Access* a = &fl.accesses[p.first];
       const Access* b = &fl.accesses[p.second];
@@ -95,7 +102,7 @@ ConflictMatrix verify_plan(const AccessLog& log, const RemedyPlan& plan,
       if (same && !opts.strict) continue;
       bool conflict = a->t_commit > b->t;
       if (conflict) {
-        auto it = inserted.find({path, a->rank});
+        auto it = inserted.find({id, a->rank});
         if (it != inserted.end()) {
           auto ub = std::upper_bound(it->second.begin(), it->second.end(), a->t);
           if (ub != it->second.end() && *ub < b->t) conflict = false;

@@ -108,19 +108,15 @@ RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
   rep.write_sizes = stats.write_sizes;
   rep.span = rep.records > 0 ? stats.hi - stats.lo : 0;
 
-  // Per-file summaries are independent; compute into index slots and
-  // insert into the (sorted) map afterwards.
-  std::vector<const std::string*> paths;
-  std::vector<const FileLog*> file_logs;
-  for (const auto& [path, fl] : log.files) {
-    paths.push_back(&path);
-    file_logs.push_back(&fl);
-  }
-  std::vector<FileReport> file_parts(file_logs.size());
-  exec::parallel_for(nthreads, file_logs.size(), [&](std::size_t f) {
+  // Per-file summaries are independent; compute into FileId-indexed
+  // slots and insert into the (path-sorted, user-facing) map afterwards.
+  const std::vector<FileId> ids = log.active_ids();
+  std::vector<FileReport> file_parts(ids.size());
+  exec::parallel_for(nthreads, ids.size(), [&](std::size_t f) {
+    const FileLog& fl = log.files[ids[f]];
     FileReport fr;
-    fr.path = *paths[f];
-    for (const auto& a : file_logs[f]->accesses) {
+    fr.path = std::string(log.path(ids[f]));
+    for (const auto& a : fl.accesses) {
       if (a.type == AccessType::Read) {
         ++fr.reads;
         fr.read_bytes += a.ext.size();
@@ -129,17 +125,19 @@ RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
         fr.write_bytes += a.ext.size();
       }
     }
-    fr.layout = classify_file_layout(*file_logs[f]);
+    fr.layout = classify_file_layout(fl);
     file_parts[f] = std::move(fr);
   });
+  std::vector<FileReport*> by_id(log.files.size(), nullptr);
   for (std::size_t f = 0; f < file_parts.size(); ++f) {
-    rep.files[*paths[f]] = std::move(file_parts[f]);
+    FileReport& slot = rep.files[file_parts[f].path];
+    slot = std::move(file_parts[f]);
+    by_id[ids[f]] = &slot;
   }
   for (const auto& c : conflicts.conflicts) {
-    auto it = rep.files.find(c.path);
-    if (it == rep.files.end()) continue;
-    it->second.session_conflicts += c.under_session ? 1 : 0;
-    it->second.commit_conflicts += c.under_commit ? 1 : 0;
+    if (c.file == kNoFile || c.file >= by_id.size() || !by_id[c.file]) continue;
+    by_id[c.file]->session_conflicts += c.under_session ? 1 : 0;
+    by_id[c.file]->commit_conflicts += c.under_commit ? 1 : 0;
   }
   rep.pattern = classify_high_level(log, bundle.nranks);
   rep.local = local_pattern(log, threads);

@@ -1,6 +1,7 @@
 #include "pfsem/core/tuning.hpp"
 
-#include <map>
+#include <string>
+#include <vector>
 
 #include "pfsem/core/overlap.hpp"
 
@@ -38,16 +39,16 @@ Flags classify_pairs(const FileLog& fl, std::span<const OverlapPair> pairs) {
   return f;
 }
 
-TuningReport assemble(const AccessLog& log,
-                      const std::map<std::string, Flags>& flags) {
+TuningReport assemble(const AccessLog& log, const std::vector<Flags>& flags) {
   using vfs::ConsistencyModel;
   TuningReport out;
-  for (const auto& [path, fl] : log.files) {
-    const auto it = flags.find(path);
+  // Output promises path order; flags are indexed by FileId.
+  for (const FileId id : log.ids_by_path()) {
+    const FileLog& fl = log.files[id];
     static const Flags kNone;
-    const Flags& f = it != flags.end() ? it->second : kNone;
+    const Flags& f = id < flags.size() ? flags[id] : kNone;
     FileTuning ft;
-    ft.path = path;
+    ft.path = std::string(log.path(id));
     ft.bytes = fl.read_bytes() + fl.write_bytes();
     ft.session_pairs = f.session_pairs;
     ft.commit_pairs = f.commit_pairs;
@@ -75,11 +76,9 @@ TuningReport per_file_tuning(const AccessLog& log, int threads) {
 }
 
 TuningReport per_file_tuning(const AccessLog& log, const FileOverlaps& pairs) {
-  std::map<std::string, Flags> flags;
-  for (const auto& [path, fl] : log.files) {
-    const auto it = pairs.find(path);
-    if (it == pairs.end()) continue;
-    flags.emplace(path, classify_pairs(fl, it->second));
+  std::vector<Flags> flags(log.files.size());
+  for (std::size_t id = 0; id < log.files.size() && id < pairs.size(); ++id) {
+    flags[id] = classify_pairs(log.files[id], pairs[id]);
   }
   return assemble(log, flags);
 }

@@ -7,7 +7,8 @@
 namespace pfsem::iolib {
 
 struct AdiosFile {
-  std::string dir;  // "<name>.bp"
+  std::string dir;        // "<name>.bp"
+  FileId file = kNoFile;  // interned id of `dir`
   mpi::Group group;
   std::vector<Rank> aggregators;
   std::map<Rank, int> data_fds;  // aggregator -> its subfile fd
@@ -26,7 +27,7 @@ AdiosLite::AdiosLite(IoContext ctx, AdiosOptions opt)
 AdiosLite::~AdiosLite() = default;
 
 void AdiosLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
-                     const std::string& path) {
+                     FileId file) {
   trace::Record rec;
   rec.tstart = t0;
   rec.tend = ctx_.engine->now();
@@ -35,7 +36,7 @@ void AdiosLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.origin = trace::Layer::App;
   rec.func = func;
   rec.count = count;
-  rec.path = path;
+  rec.file = file;
   ctx_.collector->emit(std::move(rec));
 }
 
@@ -43,10 +44,12 @@ sim::Task<AdiosFile*> AdiosLite::open(Rank r, const std::string& name,
                                       const mpi::Group& group) {
   const SimTime t0 = ctx_.engine->now();
   const std::string dir = name + ".bp";
-  auto& slot = handles_[dir];
+  const FileId file = ctx_.collector->intern(dir);
+  auto& slot = handles_[file];
   if (!slot) {
     slot = std::make_unique<AdiosFile>();
     slot->dir = dir;
+    slot->file = file;
     slot->group = group;
     const auto naggr =
         std::min<std::size_t>(static_cast<std::size_t>(opt_.aggregators),
@@ -80,7 +83,7 @@ sim::Task<AdiosFile*> AdiosLite::open(Rank r, const std::string& name,
         r, dir + "/md.idx", trace::kCreate | trace::kTrunc | trace::kRdWr);
   }
   co_await ctx_.world->barrier(r, group);
-  emit(r, trace::Func::adios_open, t0, 0, dir);
+  emit(r, trace::Func::adios_open, t0, 0, file);
   co_return f;
 }
 
@@ -88,7 +91,7 @@ sim::Task<void> AdiosLite::put(Rank r, AdiosFile* f, std::uint64_t bytes) {
   const SimTime t0 = ctx_.engine->now();
   f->staged[r] += bytes;
   co_await ctx_.engine->delay(500);  // buffer copy
-  emit(r, trace::Func::adios_put, t0, bytes, f->dir);
+  emit(r, trace::Func::adios_put, t0, bytes, f->file);
 }
 
 sim::Task<void> AdiosLite::end_step(Rank r, AdiosFile* f) {
@@ -111,7 +114,7 @@ sim::Task<void> AdiosLite::end_step(Rank r, AdiosFile* f) {
   }
   f->staged[r] = 0;
   co_await ctx_.world->barrier(r, f->group);
-  emit(r, trace::Func::adios_end_step, t0, 0, f->dir);
+  emit(r, trace::Func::adios_end_step, t0, 0, f->file);
 }
 
 sim::Task<void> AdiosLite::close(Rank r, AdiosFile* f) {
@@ -122,9 +125,9 @@ sim::Task<void> AdiosLite::close(Rank r, AdiosFile* f) {
     co_await posix_.close(r, f->md_fd);
     co_await posix_.close(r, f->idx_fd);
   }
-  const std::string dir = f->dir;
-  if (--f->open_count == 0) handles_.erase(dir);
-  emit(r, trace::Func::adios_close, t0, 0, dir);
+  const FileId file = f->file;
+  if (--f->open_count == 0) handles_.erase(file);
+  emit(r, trace::Func::adios_close, t0, 0, file);
 }
 
 }  // namespace pfsem::iolib

@@ -21,7 +21,8 @@ constexpr Offset align_up(Offset x) { return (x + kAlign - 1) / kAlign * kAlign;
 /// Shared state of one HDF5 file (one instance per path, shared by the
 /// group's rank coroutines like a real collectively-opened file handle).
 struct H5File {
-  std::string path;
+  std::string path;       ///< display/open path; `file` is its interned id
+  FileId file = kNoFile;
   mpi::Group group;
   std::vector<Rank> meta_writers;
   std::map<Rank, int> fds;    // independent (sec2) data path
@@ -29,7 +30,13 @@ struct H5File {
   Offset eoa = kDataStart;
   std::uint64_t nobjects = 0;
   std::map<Rank, std::uint64_t> flush_gen;
-  std::map<std::string, Extent> datasets;
+  /// Dataset extents plus the interned id of the composite
+  /// "<file>/<dataset>" trace path, assigned once at dataset_create.
+  struct Dataset {
+    Extent ext;
+    FileId id = kNoFile;
+  };
+  std::map<std::string, Dataset> datasets;
   int open_count = 0;
 };
 
@@ -45,7 +52,7 @@ Hdf5Lite::Hdf5Lite(IoContext ctx, H5Options opt)
 Hdf5Lite::~Hdf5Lite() = default;
 
 void Hdf5Lite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
-                    const std::string& path) {
+                    FileId file) {
   trace::Record rec;
   rec.tstart = t0;
   rec.tend = ctx_.engine->now();
@@ -54,7 +61,7 @@ void Hdf5Lite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.origin = trace::Layer::App;
   rec.func = func;
   rec.count = count;
-  rec.path = path;
+  rec.file = file;
   ctx_.collector->emit(std::move(rec));
 }
 
@@ -66,10 +73,12 @@ Rank Hdf5Lite::metadata_owner(const H5File& f, std::uint64_t object_index) const
 sim::Task<H5File*> Hdf5Lite::create(Rank r, const std::string& path,
                                     const mpi::Group& group) {
   const SimTime t0 = ctx_.engine->now();
-  auto& slot = handles_[path];
+  const FileId file = ctx_.collector->intern(path);
+  auto& slot = handles_[file];
   if (!slot) {
     slot = std::make_unique<H5File>();
     slot->path = path;
+    slot->file = file;
     slot->group = group;
     // Rotating metadata-writer subset: evenly spaced ranks of the group.
     const auto nw = std::min<std::size_t>(
@@ -96,7 +105,7 @@ sim::Task<H5File*> Hdf5Lite::create(Rank r, const std::string& path,
         co_await posix_.open(r, path, trace::kCreate | trace::kRdWr);
     if (group.size() > 1) co_await ctx_.world->barrier(r, group);
   }
-  emit(r, trace::Func::h5fcreate, t0, 0, path);
+  emit(r, trace::Func::h5fcreate, t0, 0, file);
   co_return f;
 }
 
@@ -111,7 +120,8 @@ sim::Task<void> Hdf5Lite::dataset_create(Rank r, H5File* f,
     index = f->nobjects++;
     const Offset hdr = f->eoa;
     const Offset base = hdr + kObjHeader;
-    f->datasets[name] = Extent{base, base + total_bytes};
+    f->datasets[name] = {Extent{base, base + total_bytes},
+                         ctx_.collector->intern(f->path + "/" + name)};
     f->eoa = align_up(base + total_bytes);
   } else {
     index = f->nobjects - 1;  // co-arrivals of the same create
@@ -124,7 +134,7 @@ sim::Task<void> Hdf5Lite::dataset_create(Rank r, H5File* f,
   const Rank entry_owner = metadata_owner(*f, 3 * index);
   const Rank header_owner = metadata_owner(*f, 3 * index + 1);
   const Rank cont_owner = metadata_owner(*f, 3 * index + 2);
-  const Extent ds = f->datasets.at(name);
+  const auto& ds = f->datasets.at(name).ext;
   const Offset hdr = ds.begin - kObjHeader;
   if (r == entry_owner) {
     // ENZO-style symbol-table readback: scan the node before extending it.
@@ -159,21 +169,21 @@ sim::Task<void> Hdf5Lite::dataset_create(Rank r, H5File* f,
     }
   }
   if (f->group.size() > 1) co_await ctx_.world->barrier(r, f->group);
-  emit(r, trace::Func::h5dcreate, t0, total_bytes, f->path + "/" + name);
+  emit(r, trace::Func::h5dcreate, t0, total_bytes, f->datasets.at(name).id);
 }
 
 sim::Task<void> Hdf5Lite::dataset_write(Rank r, H5File* f,
                                         const std::string& name, Offset rel_off,
                                         std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
-  const Extent ds = f->datasets.at(name);
+  const auto& [ds, ds_id] = f->datasets.at(name);
   require(ds.begin + rel_off + count <= ds.end, "hyperslab out of bounds");
   if (f->mfile) {
     co_await mpiio_.write_at_all(r, f->mfile, ds.begin + rel_off, count);
   } else {
     co_await posix_.pwrite(r, f->fds.at(r), ds.begin + rel_off, count);
   }
-  emit(r, trace::Func::h5dwrite, t0, count, f->path + "/" + name);
+  emit(r, trace::Func::h5dwrite, t0, count, ds_id);
   if (opt_.flush_after_dataset) co_await flush(r, f);
 }
 
@@ -181,13 +191,13 @@ sim::Task<void> Hdf5Lite::dataset_read(Rank r, H5File* f,
                                        const std::string& name, Offset rel_off,
                                        std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
-  const Extent ds = f->datasets.at(name);
+  const auto& [ds, ds_id] = f->datasets.at(name);
   if (f->mfile) {
     co_await mpiio_.read_at(r, f->mfile, ds.begin + rel_off, count);
   } else {
     co_await posix_.pread(r, f->fds.at(r), ds.begin + rel_off, count);
   }
-  emit(r, trace::Func::h5dread, t0, count, f->path + "/" + name);
+  emit(r, trace::Func::h5dread, t0, count, ds_id);
 }
 
 sim::Task<void> Hdf5Lite::flush(Rank r, H5File* f) {
@@ -214,7 +224,7 @@ sim::Task<void> Hdf5Lite::flush(Rank r, H5File* f) {
     co_await posix_.fsync(r, f->fds.at(r));
   }
   if (f->group.size() > 1) co_await ctx_.world->barrier(r, f->group);
-  emit(r, trace::Func::h5fflush, t0, 0, f->path);
+  emit(r, trace::Func::h5fflush, t0, 0, f->file);
 }
 
 sim::Task<void> Hdf5Lite::close(Rank r, H5File* f) {
@@ -234,16 +244,16 @@ sim::Task<void> Hdf5Lite::close(Rank r, H5File* f) {
       co_await posix_.ftruncate(r, f->fds.at(r), f->eoa);
     }
   }
-  const std::string path = f->path;
+  const FileId file = f->file;
   if (f->mfile) {
     MpiFile* m = f->mfile;
-    if (--f->open_count == 0) handles_.erase(path);
+    if (--f->open_count == 0) handles_.erase(file);
     co_await mpiio_.close(r, m);
   } else {
     co_await posix_.close(r, f->fds.at(r));
-    if (--f->open_count == 0) handles_.erase(path);
+    if (--f->open_count == 0) handles_.erase(file);
   }
-  emit(r, trace::Func::h5fclose, t0, 0, path);
+  emit(r, trace::Func::h5fclose, t0, 0, file);
 }
 
 }  // namespace pfsem::iolib

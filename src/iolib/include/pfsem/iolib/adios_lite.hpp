@@ -43,12 +43,12 @@ class AdiosLite {
 
  private:
   void emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
-            const std::string& path);
+            FileId file);
 
   IoContext ctx_;
   AdiosOptions opt_;
   PosixIo posix_;
-  std::map<std::string, std::unique_ptr<AdiosFile>> handles_;
+  std::map<FileId, std::unique_ptr<AdiosFile>> handles_;
 };
 
 }  // namespace pfsem::iolib

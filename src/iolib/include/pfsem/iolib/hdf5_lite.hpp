@@ -80,13 +80,13 @@ class Hdf5Lite {
  private:
   Rank metadata_owner(const H5File& f, std::uint64_t object_index) const;
   void emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
-            const std::string& path);
+            FileId file);
 
   IoContext ctx_;
   H5Options opt_;
   PosixIo posix_;
   MpiIo mpiio_;
-  std::map<std::string, std::unique_ptr<H5File>> handles_;
+  std::map<FileId, std::unique_ptr<H5File>> handles_;
 };
 
 }  // namespace pfsem::iolib

@@ -58,12 +58,12 @@ class MpiIo {
   sim::Task<void> collective_transfer(Rank r, MpiFile* fh, Offset off,
                                       std::uint64_t count, bool is_write);
   void emit(Rank r, trace::Func f, SimTime t0, Offset off, std::uint64_t count,
-            const std::string& path);
+            FileId file);
 
   IoContext ctx_;
   MpiIoOptions opt_;
   PosixIo posix_;
-  std::map<std::string, std::unique_ptr<MpiFile>> handles_;
+  std::map<FileId, std::unique_ptr<MpiFile>> handles_;
 };
 
 }  // namespace pfsem::iolib

@@ -38,7 +38,7 @@ class NetCdfLite {
 
  private:
   void emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
-            const std::string& path);
+            FileId file);
 
   IoContext ctx_;
   PosixIo posix_;

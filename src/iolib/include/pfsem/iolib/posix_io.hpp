@@ -72,21 +72,22 @@ class PosixIo {
     return last_read_;
   }
 
-  /// Path associated with an fd this façade opened (for fstat records).
-  [[nodiscard]] const std::string& path_of(Rank r, int fd) const;
+  /// Interned path id associated with an fd this façade opened (for fstat
+  /// records). Resolve to text via the collector's path table.
+  [[nodiscard]] FileId file_of(Rank r, int fd) const;
 
  private:
-  sim::Task<void> meta_call(Rank r, trace::Func f, std::string path,
+  sim::Task<void> meta_call(Rank r, trace::Func f, FileId file,
                             SimDuration cost, std::int64_t ret);
   /// Fail-stop boundary check: throws sim::TaskKilled for a crashed rank.
   void check_alive(Rank r) const;
   void emit(Rank r, trace::Func f, SimTime t0, SimTime t1, int fd,
             std::int64_t ret, Offset off, std::uint64_t count, int flags,
-            std::string path);
+            FileId file);
 
   IoContext ctx_;
   trace::Layer origin_;
-  std::map<std::pair<Rank, int>, std::string> fd_paths_;
+  std::map<std::pair<Rank, int>, FileId> fd_files_;
   std::vector<vfs::ReadExtent> last_read_;
 };
 

@@ -10,7 +10,8 @@ namespace pfsem::iolib {
 
 /// Shared state of one collectively-opened file.
 struct MpiFile {
-  std::string path;
+  std::string path;       ///< display/open path; `file` is its interned id
+  FileId file = kNoFile;
   mpi::Group group;
   std::vector<Rank> aggregators;
   std::map<Rank, int> fds;
@@ -35,7 +36,7 @@ MpiIo::MpiIo(IoContext ctx, MpiIoOptions opt)
 MpiIo::~MpiIo() = default;
 
 void MpiIo::emit(Rank r, trace::Func f, SimTime t0, Offset off,
-                 std::uint64_t count, const std::string& path) {
+                 std::uint64_t count, FileId file) {
   trace::Record rec;
   rec.tstart = t0;
   rec.tend = ctx_.engine->now();
@@ -45,17 +46,19 @@ void MpiIo::emit(Rank r, trace::Func f, SimTime t0, Offset off,
   rec.func = f;
   rec.offset = off;
   rec.count = count;
-  rec.path = path;
+  rec.file = file;
   ctx_.collector->emit(std::move(rec));
 }
 
 sim::Task<MpiFile*> MpiIo::open(Rank r, const std::string& path, int flags,
                                 const mpi::Group& group) {
   const SimTime t0 = ctx_.engine->now();
-  auto& slot = handles_[path];
+  const FileId file = ctx_.collector->intern(path);
+  auto& slot = handles_[file];
   if (!slot) {
     slot = std::make_unique<MpiFile>();
     slot->path = path;
+    slot->file = file;
     slot->group = group;
     // Evenly-spaced aggregator ranks within the group (ROMIO default-ish).
     const int naggr = std::min<int>(opt_.aggregators,
@@ -72,7 +75,7 @@ sim::Task<MpiFile*> MpiIo::open(Rank r, const std::string& path, int flags,
   co_await posix_.stat(r, path);
   fh->fds[r] = co_await posix_.open(r, path, flags);
   co_await ctx_.world->barrier(r, group);
-  emit(r, trace::Func::mpi_file_open, t0, 0, 0, path);
+  emit(r, trace::Func::mpi_file_open, t0, 0, 0, file);
   co_return fh;
 }
 
@@ -80,23 +83,23 @@ sim::Task<void> MpiIo::close(Rank r, MpiFile* fh) {
   const SimTime t0 = ctx_.engine->now();
   co_await ctx_.world->barrier(r, fh->group);
   co_await posix_.close(r, fh->fds.at(r));
-  const std::string path = fh->path;
-  emit(r, trace::Func::mpi_file_close, t0, 0, 0, path);
-  if (--fh->open_count == 0) handles_.erase(path);
+  const FileId file = fh->file;
+  emit(r, trace::Func::mpi_file_close, t0, 0, 0, file);
+  if (--fh->open_count == 0) handles_.erase(file);
 }
 
 sim::Task<void> MpiIo::write_at(Rank r, MpiFile* fh, Offset off,
                                 std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
   co_await posix_.pwrite(r, fh->fds.at(r), off, count);
-  emit(r, trace::Func::mpi_file_write_at, t0, off, count, fh->path);
+  emit(r, trace::Func::mpi_file_write_at, t0, off, count, fh->file);
 }
 
 sim::Task<void> MpiIo::read_at(Rank r, MpiFile* fh, Offset off,
                                std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
   co_await posix_.pread(r, fh->fds.at(r), off, count);
-  emit(r, trace::Func::mpi_file_read_at, t0, off, count, fh->path);
+  emit(r, trace::Func::mpi_file_read_at, t0, off, count, fh->file);
 }
 
 sim::Task<void> MpiIo::collective_transfer(Rank r, MpiFile* fh, Offset off,
@@ -146,26 +149,26 @@ sim::Task<void> MpiIo::write_at_all(Rank r, MpiFile* fh, Offset off,
                                     std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
   co_await collective_transfer(r, fh, off, count, /*is_write=*/true);
-  emit(r, trace::Func::mpi_file_write_at_all, t0, off, count, fh->path);
+  emit(r, trace::Func::mpi_file_write_at_all, t0, off, count, fh->file);
 }
 
 sim::Task<void> MpiIo::read_at_all(Rank r, MpiFile* fh, Offset off,
                                    std::uint64_t count) {
   const SimTime t0 = ctx_.engine->now();
   co_await collective_transfer(r, fh, off, count, /*is_write=*/false);
-  emit(r, trace::Func::mpi_file_read_at_all, t0, off, count, fh->path);
+  emit(r, trace::Func::mpi_file_read_at_all, t0, off, count, fh->file);
 }
 
 sim::Task<void> MpiIo::sync(Rank r, MpiFile* fh) {
   const SimTime t0 = ctx_.engine->now();
   co_await posix_.fsync(r, fh->fds.at(r));
-  emit(r, trace::Func::mpi_file_sync, t0, 0, 0, fh->path);
+  emit(r, trace::Func::mpi_file_sync, t0, 0, 0, fh->file);
 }
 
 sim::Task<void> MpiIo::set_size(Rank r, MpiFile* fh, Offset size) {
   const SimTime t0 = ctx_.engine->now();
   co_await posix_.ftruncate(r, fh->fds.at(r), size);
-  emit(r, trace::Func::mpi_file_set_size, t0, 0, size, fh->path);
+  emit(r, trace::Func::mpi_file_set_size, t0, 0, size, fh->file);
 }
 
 }  // namespace pfsem::iolib

@@ -10,7 +10,8 @@ constexpr Extent kNumrecs{4, 8};         // record-count field inside it
 }  // namespace
 
 struct NcFile {
-  std::string path;
+  std::string path;       ///< display/open path; `file` is its interned id
+  FileId file = kNoFile;
   int fd = -1;
   int nvars = 0;
   Offset data_end = kHeaderSize;
@@ -25,7 +26,7 @@ NetCdfLite::NetCdfLite(IoContext ctx)
 NetCdfLite::~NetCdfLite() = default;
 
 void NetCdfLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
-                      const std::string& path) {
+                      FileId file) {
   trace::Record rec;
   rec.tstart = t0;
   rec.tend = ctx_.engine->now();
@@ -34,7 +35,7 @@ void NetCdfLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.origin = trace::Layer::App;
   rec.func = func;
   rec.count = count;
-  rec.path = path;
+  rec.file = file;
   ctx_.collector->emit(std::move(rec));
 }
 
@@ -45,10 +46,11 @@ sim::Task<NcFile*> NetCdfLite::create(Rank r, const std::string& path) {
   co_await posix_.access(r, path);
   auto f = std::make_unique<NcFile>();
   f->path = path;
+  f->file = ctx_.collector->intern(path);
   f->fd = co_await posix_.open(r, path, trace::kCreate | trace::kTrunc | trace::kRdWr);
   NcFile* out = f.get();
   files_.push_back(std::move(f));
-  emit(r, trace::Func::nc_create, t0, 0, path);
+  emit(r, trace::Func::nc_create, t0, 0, out->file);
   co_return out;
 }
 
@@ -56,7 +58,8 @@ sim::Task<void> NetCdfLite::def_var(Rank r, NcFile* f, const std::string& name) 
   const SimTime t0 = ctx_.engine->now();
   ++f->nvars;
   co_await ctx_.engine->delay(200);
-  emit(r, trace::Func::nc_def_var, t0, 0, f->path + ":" + name);
+  emit(r, trace::Func::nc_def_var, t0, 0,
+       ctx_.collector->intern(f->path + ":" + name));
 }
 
 sim::Task<void> NetCdfLite::enddef(Rank r, NcFile* f) {
@@ -64,7 +67,7 @@ sim::Task<void> NetCdfLite::enddef(Rank r, NcFile* f) {
   require(!f->defined, "enddef called twice");
   f->defined = true;
   co_await posix_.pwrite(r, f->fd, 0, kHeaderSize);
-  emit(r, trace::Func::nc_enddef, t0, kHeaderSize, f->path);
+  emit(r, trace::Func::nc_enddef, t0, kHeaderSize, f->file);
 }
 
 sim::Task<void> NetCdfLite::put_record(Rank r, NcFile* f, std::uint64_t bytes) {
@@ -82,13 +85,13 @@ sim::Task<void> NetCdfLite::put_record(Rank r, NcFile* f, std::uint64_t bytes) {
   // previous update, with no commit in between -> WAW-S under session
   // *and* commit semantics, exactly the LAMMPS-NetCDF signature.
   co_await posix_.pwrite(r, f->fd, kNumrecs.begin, kNumrecs.size());
-  emit(r, trace::Func::nc_put_vara, t0, bytes, f->path);
+  emit(r, trace::Func::nc_put_vara, t0, bytes, f->file);
 }
 
 sim::Task<void> NetCdfLite::close(Rank r, NcFile* f) {
   const SimTime t0 = ctx_.engine->now();
   co_await posix_.close(r, f->fd);
-  emit(r, trace::Func::nc_close, t0, 0, f->path);
+  emit(r, trace::Func::nc_close, t0, 0, f->file);
 }
 
 }  // namespace pfsem::iolib

@@ -57,7 +57,7 @@ void PosixIo::check_alive(Rank r) const { check_crash(ctx_, r); }
 
 void PosixIo::emit(Rank r, trace::Func f, SimTime t0, SimTime t1, int fd,
                    std::int64_t ret, Offset off, std::uint64_t count, int flags,
-                   std::string path) {
+                   FileId file) {
   trace::Record rec;
   rec.tstart = t0;
   rec.tend = t1;
@@ -70,13 +70,13 @@ void PosixIo::emit(Rank r, trace::Func f, SimTime t0, SimTime t1, int fd,
   rec.offset = off;
   rec.count = count;
   rec.flags = flags;
-  rec.path = std::move(path);
+  rec.file = file;
   ctx_.collector->emit(std::move(rec));
 }
 
-const std::string& PosixIo::path_of(Rank r, int fd) const {
-  auto it = fd_paths_.find({r, fd});
-  require(it != fd_paths_.end(), "path_of: unknown fd");
+FileId PosixIo::file_of(Rank r, int fd) const {
+  auto it = fd_files_.find({r, fd});
+  require(it != fd_files_.end(), "file_of: unknown fd");
   return it->second;
 }
 
@@ -86,21 +86,24 @@ sim::Task<int> PosixIo::open(Rank r, std::string path, int flags) {
     return ctx_.pfs->open(r, path, flags, now);
   });
   require(res.fd >= 0, "simulated open failed: " + path);
-  fd_paths_[{r, res.fd}] = path;
+  // Paths are interned once at open; every later record on this fd
+  // carries the id.
+  const FileId file = ctx_.collector->intern(path);
+  fd_files_[{r, res.fd}] = file;
   emit(r, trace::Func::open, t0, ctx_.engine->now(), res.fd, res.fd, 0, 0,
-       flags, std::move(path));
+       flags, file);
   co_return res.fd;
 }
 
 sim::Task<void> PosixIo::close(Rank r, int fd) {
   check_alive(r);
   const SimTime t0 = ctx_.engine->now();
-  std::string path = path_of(r, fd);
+  const FileId file = file_of(r, fd);
   auto res = ctx_.pfs->close(r, fd, t0);
   co_await ctx_.engine->delay(res.cost);
-  fd_paths_.erase({r, fd});
+  fd_files_.erase({r, fd});
   emit(r, trace::Func::close, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
-       std::move(path));
+       file);
 }
 
 sim::Task<std::uint64_t> PosixIo::write(Rank r, int fd, std::uint64_t count) {
@@ -110,7 +113,7 @@ sim::Task<std::uint64_t> PosixIo::write(Rank r, int fd, std::uint64_t count) {
   });
   // res.offset is ground truth for validating offset reconstruction only.
   emit(r, trace::Func::write, t0, ctx_.engine->now(), fd,
-       static_cast<std::int64_t>(count), res.offset, count, 0, path_of(r, fd));
+       static_cast<std::int64_t>(count), res.offset, count, 0, file_of(r, fd));
   co_return count;
 }
 
@@ -122,7 +125,7 @@ sim::Task<std::uint64_t> PosixIo::read(Rank r, int fd, std::uint64_t count) {
   last_read_ = res.extents;
   emit(r, trace::Func::read, t0, ctx_.engine->now(), fd,
        static_cast<std::int64_t>(res.bytes), res.offset, count, 0,
-       path_of(r, fd));
+       file_of(r, fd));
   co_return res.bytes;
 }
 
@@ -134,7 +137,7 @@ sim::Task<std::uint64_t> PosixIo::pwrite(Rank r, int fd, Offset off,
   });
   (void)res;
   emit(r, trace::Func::pwrite, t0, ctx_.engine->now(), fd,
-       static_cast<std::int64_t>(count), off, count, 0, path_of(r, fd));
+       static_cast<std::int64_t>(count), off, count, 0, file_of(r, fd));
   co_return count;
 }
 
@@ -146,7 +149,7 @@ sim::Task<std::uint64_t> PosixIo::pread(Rank r, int fd, Offset off,
   });
   last_read_ = res.extents;
   emit(r, trace::Func::pread, t0, ctx_.engine->now(), fd,
-       static_cast<std::int64_t>(res.bytes), off, count, 0, path_of(r, fd));
+       static_cast<std::int64_t>(res.bytes), off, count, 0, file_of(r, fd));
   co_return res.bytes;
 }
 
@@ -158,7 +161,7 @@ sim::Task<std::int64_t> PosixIo::lseek(Rank r, int fd, std::int64_t offset,
   require(res.ret >= 0, "simulated lseek failed");
   co_await ctx_.engine->delay(res.cost);
   emit(r, trace::Func::lseek, t0, ctx_.engine->now(), fd, res.ret,
-       static_cast<Offset>(offset), 0, whence, path_of(r, fd));
+       static_cast<Offset>(offset), 0, whence, file_of(r, fd));
   co_return res.ret;
 }
 
@@ -168,7 +171,7 @@ sim::Task<void> PosixIo::fsync(Rank r, int fd) {
     return ctx_.pfs->fsync(r, fd, now);
   });
   emit(r, trace::Func::fsync, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
-       path_of(r, fd));
+       file_of(r, fd));
 }
 
 sim::Task<void> PosixIo::fdatasync(Rank r, int fd) {
@@ -177,7 +180,7 @@ sim::Task<void> PosixIo::fdatasync(Rank r, int fd) {
     return ctx_.pfs->fsync(r, fd, now);
   });
   emit(r, trace::Func::fdatasync, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
-       path_of(r, fd));
+       file_of(r, fd));
 }
 
 sim::Task<void> PosixIo::ftruncate(Rank r, int fd, Offset length) {
@@ -186,15 +189,15 @@ sim::Task<void> PosixIo::ftruncate(Rank r, int fd, Offset length) {
     return ctx_.pfs->ftruncate(r, fd, length, now);
   });
   emit(r, trace::Func::ftruncate, t0, ctx_.engine->now(), fd, res.ret, length,
-       0, 0, path_of(r, fd));
+       0, 0, file_of(r, fd));
 }
 
-sim::Task<void> PosixIo::meta_call(Rank r, trace::Func f, std::string path,
+sim::Task<void> PosixIo::meta_call(Rank r, trace::Func f, FileId file,
                                    SimDuration cost, std::int64_t ret) {
   check_alive(r);
   const SimTime t0 = ctx_.engine->now();
   co_await ctx_.engine->delay(cost);
-  emit(r, f, t0, ctx_.engine->now(), -1, ret, 0, 0, 0, std::move(path));
+  emit(r, f, t0, ctx_.engine->now(), -1, ret, 0, 0, 0, file);
 }
 
 sim::Task<std::int64_t> PosixIo::stat(Rank r, std::string path) {
@@ -203,7 +206,7 @@ sim::Task<std::int64_t> PosixIo::stat(Rank r, std::string path) {
     return ctx_.pfs->stat(path, now);
   });
   emit(r, trace::Func::stat, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
-       std::move(path));
+       ctx_.collector->intern(path));
   co_return res.ret;
 }
 
@@ -213,18 +216,18 @@ sim::Task<std::int64_t> PosixIo::lstat(Rank r, std::string path) {
     return ctx_.pfs->stat(path, now);
   });
   emit(r, trace::Func::lstat, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
-       std::move(path));
+       ctx_.collector->intern(path));
   co_return res.ret;
 }
 
 sim::Task<std::int64_t> PosixIo::fstat(Rank r, int fd) {
   const SimTime t0 = ctx_.engine->now();
-  std::string path = path_of(r, fd);
+  const FileId file = file_of(r, fd);
   auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
-    return ctx_.pfs->stat(path, now);
+    return ctx_.pfs->stat(std::string(ctx_.collector->path_view(file)), now);
   });
   emit(r, trace::Func::fstat, t0, ctx_.engine->now(), fd, res.ret, 0, 0, 0,
-       std::move(path));
+       file);
   co_return res.ret;
 }
 
@@ -234,7 +237,7 @@ sim::Task<std::int64_t> PosixIo::access(Rank r, std::string path) {
     return ctx_.pfs->access(path, now);
   });
   emit(r, trace::Func::access, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
-       std::move(path));
+       ctx_.collector->intern(path));
   co_return res.ret;
 }
 
@@ -244,7 +247,7 @@ sim::Task<std::int64_t> PosixIo::unlink(Rank r, std::string path) {
     return ctx_.pfs->unlink(path, now);
   });
   emit(r, trace::Func::unlink, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
-       std::move(path));
+       ctx_.collector->intern(path));
   co_return res.ret;
 }
 
@@ -254,7 +257,7 @@ sim::Task<std::int64_t> PosixIo::mkdir(Rank r, std::string path) {
     return ctx_.pfs->mkdir(path, now);
   });
   emit(r, trace::Func::mkdir, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
-       std::move(path));
+       ctx_.collector->intern(path));
   co_return res.ret;
 }
 
@@ -265,24 +268,24 @@ sim::Task<std::int64_t> PosixIo::rename(Rank r, std::string from,
     return ctx_.pfs->rename(from, to, now);
   });
   emit(r, trace::Func::rename, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
-       from + " -> " + to);
+       ctx_.collector->intern(from + " -> " + to));
   co_return res.ret;
 }
 
 sim::Task<void> PosixIo::getcwd(Rank r) {
-  return meta_call(r, trace::Func::getcwd, "", 100, 0);
+  return meta_call(r, trace::Func::getcwd, kNoFile, 100, 0);
 }
 sim::Task<void> PosixIo::umask(Rank r) {
-  return meta_call(r, trace::Func::umask, "", 100, 0);
+  return meta_call(r, trace::Func::umask, kNoFile, 100, 0);
 }
 sim::Task<void> PosixIo::fcntl(Rank r, int fd) {
-  return meta_call(r, trace::Func::fcntl, path_of(r, fd), 200, 0);
+  return meta_call(r, trace::Func::fcntl, file_of(r, fd), 200, 0);
 }
 sim::Task<void> PosixIo::dup(Rank r, int fd) {
-  return meta_call(r, trace::Func::dup, path_of(r, fd), 200, 0);
+  return meta_call(r, trace::Func::dup, file_of(r, fd), 200, 0);
 }
 sim::Task<void> PosixIo::readdir(Rank r, std::string path) {
-  return meta_call(r, trace::Func::readdir, std::move(path),
+  return meta_call(r, trace::Func::readdir, ctx_.collector->intern(path),
                    ctx_.pfs->meta_latency(), 0);
 }
 

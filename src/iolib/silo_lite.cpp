@@ -19,7 +19,7 @@ SiloLite::SiloLite(IoContext ctx) : ctx_(ctx), posix_(ctx, trace::Layer::Silo) {
 SiloLite::~SiloLite() = default;
 
 void SiloLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
-                    const std::string& path) {
+                    FileId file) {
   trace::Record rec;
   rec.tstart = t0;
   rec.tend = ctx_.engine->now();
@@ -28,7 +28,7 @@ void SiloLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.origin = trace::Layer::App;
   rec.func = func;
   rec.count = count;
-  rec.path = path;
+  rec.file = file;
   ctx_.collector->emit(std::move(rec));
 }
 
@@ -46,14 +46,15 @@ sim::Task<void> SiloLite::write_group_file(Rank r, const std::string& path,
 
   const SimTime t0 = ctx_.engine->now();
   const bool creating = pos == 0;
+  const FileId file = ctx_.collector->intern(path);
   co_await posix_.access(r, path);
   const int fd = co_await posix_.open(
       r, path, creating ? (trace::kCreate | trace::kTrunc | trace::kRdWr)
                         : trace::kRdWr);
   if (creating) {
-    emit(r, trace::Func::db_create, t0, 0, path);
+    emit(r, trace::Func::db_create, t0, 0, file);
   } else {
-    emit(r, trace::Func::db_open, t0, 0, path);
+    emit(r, trace::Func::db_open, t0, 0, file);
     // Read the existing TOC to find where to append.
     co_await posix_.pread(r, fd, kToc.begin, kToc.size());
   }
@@ -72,19 +73,19 @@ sim::Task<void> SiloLite::write_group_file(Rank r, const std::string& path,
     co_await posix_.pwrite(r, fd, block_off + done, n);
     done += n;
   }
-  emit(r, trace::Func::db_put_quadvar, tw0, bytes, path);
+  emit(r, trace::Func::db_put_quadvar, tw0, bytes, file);
   // Update the TOC twice (directory entry, then variable entry) with no
   // commit in between -> the MACSio WAW-S signature.
   const SimTime tt0 = ctx_.engine->now();
   co_await posix_.pwrite(r, fd, kToc.begin, kToc.size());
-  emit(r, trace::Func::db_mkdir, tt0, kToc.size(), path);
+  emit(r, trace::Func::db_mkdir, tt0, kToc.size(), file);
   const SimTime tt1 = ctx_.engine->now();
   co_await posix_.pwrite(r, fd, kToc.begin, kToc.size());
-  emit(r, trace::Func::db_set_dir, tt1, kToc.size(), path);
+  emit(r, trace::Func::db_set_dir, tt1, kToc.size(), file);
   // Close before passing the baton: the close->open pair is what clears
   // the cross-rank TOC conflict under session semantics.
   co_await posix_.close(r, fd);
-  emit(r, trace::Func::db_close, tt1, 0, path);
+  emit(r, trace::Func::db_close, tt1, 0, file);
 
   if (pos + 1 < group.size()) {
     co_await ctx_.world->send(r, group[pos + 1], kBatonTag + dump_index, 8);

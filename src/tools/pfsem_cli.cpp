@@ -147,7 +147,7 @@ void print_report(const trace::TraceBundle& bundle, int threads) {
 
   std::cout << "ranks: " << bundle.nranks
             << "   records: " << bundle.records.size()
-            << "   files: " << log.files.size() << "\n";
+            << "   files: " << log.file_count() << "\n";
   std::cout << "pattern: " << pattern.xy << " "
             << core::to_string(pattern.layout) << " (dominant "
             << pattern.dominant_file << ")\n";
@@ -253,8 +253,8 @@ int main(int argc, char** argv) {
       auto opt = parse_options(argc, argv, 3);
       const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
-      const auto report =
-          core::detect_conflicts(log, {.threads = opt.threads});
+      const auto report = core::detect_conflicts(
+          log, core::ConflictOptions{.threads = opt.threads});
       core::HappensBefore hb(bundle.comm, bundle.nranks);
       const auto advice = core::advise(report, &hb, opt.threads);
       std::cout << vfs::to_string(advice.weakest) << "\n" << advice.rationale

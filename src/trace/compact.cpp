@@ -6,8 +6,8 @@
 
 #include <algorithm>
 #include <istream>
-#include <map>
 #include <ostream>
+#include <string_view>
 #include <vector>
 
 #include "pfsem/trace/serialize.hpp"
@@ -50,7 +50,7 @@ constexpr std::int64_t unzigzag(std::uint64_t v) {
   return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
 }
 
-void put_string(std::ostream& os, const std::string& s) {
+void put_string(std::ostream& os, std::string_view s) {
   put_varint(os, s.size());
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
@@ -70,16 +70,21 @@ void write_compact(const TraceBundle& bundle, std::ostream& os) {
   os.write(kMagic2, sizeof kMagic2);
   put_varint(os, static_cast<std::uint64_t>(bundle.nranks));
 
-  // Intern every path.
-  std::map<std::string, std::uint64_t> path_ids;
-  std::vector<const std::string*> paths;
-  for (const auto& r : bundle.records) {
-    if (path_ids.emplace(r.path, paths.size()).second) {
-      paths.push_back(&r.path);
-    }
+  // The on-disk path table is the bundle's PathTable verbatim, so FileIds
+  // survive a round trip unchanged. Records without a path (kNoFile) are
+  // stored as a reference to an empty-string entry, appended if the table
+  // does not already contain one — the same encoding the pre-interning
+  // writer produced for pathless records.
+  const FileId empty_id = bundle.paths.find("");
+  const bool need_empty = empty_id == kNoFile;
+  const std::uint64_t npaths = bundle.paths.size() + (need_empty ? 1 : 0);
+  const std::uint64_t no_file_slot =
+      need_empty ? bundle.paths.size() : empty_id;
+  put_varint(os, npaths);
+  for (std::size_t i = 0; i < bundle.paths.size(); ++i) {
+    put_string(os, bundle.paths.view(static_cast<FileId>(i)));
   }
-  put_varint(os, paths.size());
-  for (const auto* p : paths) put_string(os, *p);
+  if (need_empty) put_string(os, "");
 
   put_varint(os, bundle.records.size());
   std::vector<SimTime> last_t(static_cast<std::size_t>(bundle.nranks), 0);
@@ -97,7 +102,8 @@ void write_compact(const TraceBundle& bundle, std::ostream& os) {
     put_varint(os, r.offset);
     put_varint(os, r.count);
     put_varint(os, zigzag(r.flags));
-    put_varint(os, path_ids.at(r.path));
+    put_varint(os, r.file == kNoFile ? no_file_slot
+                                     : static_cast<std::uint64_t>(r.file));
   }
 
   put_varint(os, bundle.comm.p2p.size());
@@ -135,11 +141,17 @@ TraceBundle read_compact(std::istream& is) {
   b.nranks = static_cast<int>(get_varint(is));
   require(b.nranks > 0 && b.nranks < (1 << 24), "bad rank count");
 
+  // Adopt the on-disk intern table directly as the in-memory PathTable:
+  // ids in the stream are ids in the loaded bundle, no per-record string
+  // materialization. Empty-string entries stay in the table (records
+  // referencing them decode to kNoFile below).
   const auto npaths = get_varint(is);
   require(npaths <= (1u << 24), "implausible path-table size");
-  std::vector<std::string> paths;
-  paths.reserve(std::min<std::uint64_t>(npaths, 1u << 16));
-  for (std::uint64_t i = 0; i < npaths; ++i) paths.push_back(get_string(is));
+  for (std::uint64_t i = 0; i < npaths; ++i) {
+    const std::string s = get_string(is);
+    const FileId id = b.paths.intern(s);
+    require(id == static_cast<FileId>(i), "duplicate path in compact table");
+  }
 
   const auto nrec = get_varint(is);
   b.records.reserve(std::min<std::uint64_t>(nrec, 1u << 20));
@@ -165,9 +177,10 @@ TraceBundle read_compact(std::istream& is) {
     r.count = get_varint(is);
     r.flags = static_cast<std::int32_t>(unzigzag(get_varint(is)));
     const auto pid = get_varint(is);
-    require(pid < paths.size(), "bad path id in compact trace");
-    r.path = paths[pid];
-    b.records.push_back(std::move(r));
+    require(pid < b.paths.size(), "bad path id in compact trace");
+    const auto id = static_cast<FileId>(pid);
+    r.file = b.paths.view(id).empty() ? kNoFile : id;
+    b.records.push_back(r);
   }
 
   const auto np2p = get_varint(is);

@@ -34,6 +34,17 @@ class Collector {
     return clocks_[static_cast<std::size_t>(r)].local_time(t);
   }
 
+  /// Intern `path` in the bundle's PathTable. Emission sites call this
+  /// once at open time and pass the returned id on every subsequent op.
+  [[nodiscard]] FileId intern(std::string_view path) {
+    return bundle_.paths.intern(path);
+  }
+
+  /// Resolve a previously interned id ("" for kNoFile).
+  [[nodiscard]] std::string_view path_view(FileId id) const {
+    return bundle_.paths.view_or_empty(id);
+  }
+
   /// Append a record whose tstart/tend are in *global* time; they are
   /// converted to the emitting rank's local clock here.
   void emit(Record r) {

@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic string interner for file paths, modelled on the path table
+// Recorder 2.0 keeps per trace directory: every distinct path is stored
+// once and every record refers to it by a dense FileId. Ids are assigned
+// in first-intern order (i.e. first-open order when capture interns at
+// open time), which makes them reproducible run-to-run and lets analyses
+// use plain vectors indexed by FileId instead of string-keyed maps.
+//
+// Storage is a deque so interned strings never move; the lookup index
+// keeps string_views into that storage (heterogeneous find, no per-lookup
+// allocation).
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "pfsem/util/error.hpp"
+#include "pfsem/util/types.hpp"
+
+namespace pfsem::trace {
+
+class PathTable {
+ public:
+  PathTable() = default;
+
+  PathTable(const PathTable& other) : strings_(other.strings_) { reindex(); }
+  PathTable& operator=(const PathTable& other) {
+    if (this != &other) {
+      strings_ = other.strings_;
+      reindex();
+    }
+    return *this;
+  }
+  // Deque elements are stable under move, so the index stays valid.
+  PathTable(PathTable&&) noexcept = default;
+  PathTable& operator=(PathTable&&) noexcept = default;
+
+  /// Id of `path`, appending it if new. Ids are dense and insertion-ordered.
+  FileId intern(std::string_view path) {
+    if (auto it = index_.find(path); it != index_.end()) return it->second;
+    require(strings_.size() < static_cast<std::size_t>(kNoFile),
+            "path table full");
+    const FileId id = static_cast<FileId>(strings_.size());
+    strings_.emplace_back(path);
+    index_.emplace(std::string_view{strings_.back()}, id);
+    return id;
+  }
+
+  /// Id of `path` if already interned, else kNoFile. Never allocates.
+  [[nodiscard]] FileId find(std::string_view path) const {
+    const auto it = index_.find(path);
+    return it == index_.end() ? kNoFile : it->second;
+  }
+
+  /// O(1) id -> path view. `id` must be a live id from this table.
+  [[nodiscard]] std::string_view view(FileId id) const {
+    require(id < strings_.size(), "FileId out of range for this PathTable");
+    return strings_[id];
+  }
+
+  /// Like view(), but kNoFile maps to the empty string (handy for output).
+  [[nodiscard]] std::string_view view_or_empty(FileId id) const {
+    return id == kNoFile ? std::string_view{} : view(id);
+  }
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+  [[nodiscard]] bool empty() const { return strings_.empty(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  void reindex() {
+    index_.clear();
+    index_.reserve(strings_.size());
+    for (std::size_t i = 0; i < strings_.size(); ++i) {
+      index_.emplace(std::string_view{strings_[i]}, static_cast<FileId>(i));
+    }
+  }
+
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, FileId, Hash, Eq> index_;
+};
+
+}  // namespace pfsem::trace

@@ -7,9 +7,9 @@
 // contents, exactly like the paper (Section 5).
 
 #include <cstdint>
-#include <string>
 #include <string_view>
 
+#include "pfsem/trace/path_table.hpp"
 #include "pfsem/util/types.hpp"
 
 namespace pfsem::trace {
@@ -89,7 +89,15 @@ struct Record {
   Offset offset = 0;            ///< explicit offset (pread/pwrite/lseek/...)
   std::uint64_t count = 0;      ///< byte count / size argument
   std::int32_t flags = 0;       ///< open flags or seek whence
-  std::string path;             ///< file path where applicable
+  FileId file = kNoFile;        ///< interned file path where applicable
+
+  /// Path of this record resolved against the bundle's PathTable
+  /// (empty view when the call has no associated path).
+  [[nodiscard]] std::string_view path_view(const PathTable& paths) const {
+    return paths.view_or_empty(file);
+  }
+
+  [[nodiscard]] bool has_path() const { return file != kNoFile; }
 };
 
 /// open(2)-style flag bits used by the simulated stack (subset of POSIX).

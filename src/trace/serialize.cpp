@@ -27,7 +27,7 @@ T get(std::istream& is) {
   return v;
 }
 
-void put_string(std::ostream& os, const std::string& s) {
+void put_string(std::ostream& os, std::string_view s) {
   put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
@@ -41,7 +41,10 @@ std::string get_string(std::istream& is) {
   return s;
 }
 
-void put_record(std::ostream& os, const Record& r) {
+// The v1 on-disk format predates path interning and stores the path string
+// inline per record; the writer resolves ids against the bundle's table and
+// the reader interns on the way in, so old fixtures load unchanged.
+void put_record(std::ostream& os, const TraceBundle& bundle, const Record& r) {
   put(os, r.tstart);
   put(os, r.tend);
   put(os, r.rank);
@@ -53,10 +56,10 @@ void put_record(std::ostream& os, const Record& r) {
   put(os, r.offset);
   put(os, r.count);
   put(os, r.flags);
-  put_string(os, r.path);
+  put_string(os, bundle.path_of(r));
 }
 
-Record get_record(std::istream& is) {
+Record get_record(std::istream& is, TraceBundle& bundle) {
   Record r;
   r.tstart = get<SimTime>(is);
   r.tend = get<SimTime>(is);
@@ -71,7 +74,8 @@ Record get_record(std::istream& is) {
   r.offset = get<Offset>(is);
   r.count = get<std::uint64_t>(is);
   r.flags = get<std::int32_t>(is);
-  r.path = get_string(is);
+  const std::string path = get_string(is);
+  r.file = path.empty() ? kNoFile : bundle.intern(path);
   return r;
 }
 
@@ -82,7 +86,7 @@ void write_binary(const TraceBundle& bundle, std::ostream& os) {
   put(os, kVersion);
   put<std::int32_t>(os, bundle.nranks);
   put<std::uint64_t>(os, bundle.records.size());
-  for (const auto& r : bundle.records) put_record(os, r);
+  for (const auto& r : bundle.records) put_record(os, bundle, r);
   put<std::uint64_t>(os, bundle.comm.p2p.size());
   for (const auto& e : bundle.comm.p2p) {
     put(os, e.src);
@@ -121,7 +125,9 @@ TraceBundle read_binary(std::istream& is) {
   // Counts are untrusted: reserve only a bounded prefix; a corrupted huge
   // count then fails as a clean truncated-stream error instead of OOM.
   b.records.reserve(std::min<std::uint64_t>(nrec, 1u << 20));
-  for (std::uint64_t i = 0; i < nrec; ++i) b.records.push_back(get_record(is));
+  for (std::uint64_t i = 0; i < nrec; ++i) {
+    b.records.push_back(get_record(is, b));
+  }
   const auto np2p = get<std::uint64_t>(is);
   b.comm.p2p.reserve(std::min<std::uint64_t>(np2p, 1u << 20));
   for (std::uint64_t i = 0; i < np2p; ++i) {
@@ -163,7 +169,9 @@ void write_text(const TraceBundle& bundle, std::ostream& os) {
   for (const auto& r : bundle.records) {
     os << r.tstart << ' ' << r.tend << " r" << r.rank << ' ' << to_string(r.layer)
        << '/' << to_string(r.origin) << ' ' << to_string(r.func);
-    if (!r.path.empty()) os << " path=" << r.path;
+    if (const auto path = bundle.path_of(r); !path.empty()) {
+      os << " path=" << path;
+    }
     if (r.fd >= 0) os << " fd=" << r.fd;
     os << " off=" << r.offset << " cnt=" << r.count << " flags=" << r.flags
        << " ret=" << r.ret << '\n';

@@ -24,11 +24,19 @@ using Rank = std::int32_t;
 /// Byte offset within a file.
 using Offset = std::uint64_t;
 
+/// Dense handle of an interned file path (index into a trace::PathTable).
+/// Ids are assigned in first-intern order, so within one run they are
+/// deterministic: the file first opened gets id 0, and so on.
+using FileId = std::uint32_t;
+
 /// Sentinel: "event never happens" (used for e.g. "no succeeding commit").
 inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
 
 /// Sentinel: invalid/absent rank.
 inline constexpr Rank kNoRank = -1;
+
+/// Sentinel: record or handle not associated with any file path.
+inline constexpr FileId kNoFile = std::numeric_limits<FileId>::max();
 
 namespace literals {
 /// 1 microsecond in SimTime units.

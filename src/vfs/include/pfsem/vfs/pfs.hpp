@@ -28,7 +28,9 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "pfsem/trace/path_table.hpp"
 #include "pfsem/vfs/filesystem.hpp"
 #include "pfsem/vfs/pfs_types.hpp"
 
@@ -103,6 +105,10 @@ class Pfs final : public FileSystem {
 
   File& file_for_fd(Rank r, int fd);
   std::shared_ptr<File> lookup(const std::string& path) const;
+  /// Slot for `path` in the id-indexed file vector, interning on demand.
+  /// A null slot means the name is known but no file currently exists
+  /// (never created, unlinked, or renamed away).
+  std::shared_ptr<File>& slot(const std::string& path);
   SimDuration charge_locks(File& f, Rank r, Extent ext, bool exclusive);
   /// Transfer cost of `ext` across the striped OSTs (updates ost_stats).
   /// An active OST slowdown (fault injection) stretches the affected
@@ -115,8 +121,12 @@ class Pfs final : public FileSystem {
                                   std::uint64_t count) const;
 
   PfsConfig cfg_;
-  std::map<std::string, std::shared_ptr<File>> files_;
-  std::set<std::string> dirs_;
+  /// Namespace: every path ever seen is interned once; live files occupy
+  /// the matching slot of the dense id-indexed vector and directories are
+  /// a set of interned ids. No string-keyed map on the simulation path.
+  trace::PathTable names_;
+  std::vector<std::shared_ptr<File>> files_;
+  std::set<FileId> dirs_;
   std::map<std::pair<Rank, int>, std::unique_ptr<OpenFile>> open_files_;
   std::map<Rank, int> next_fd_;
   VersionTag next_version_ = 1;

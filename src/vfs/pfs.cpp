@@ -98,15 +98,21 @@ struct Pfs::OpenFile {
 Pfs::Pfs(PfsConfig cfg) : cfg_(cfg) {
   require(cfg_.stripe_count >= 1, "stripe_count must be >= 1");
   require(cfg_.stripe_size > 0, "stripe_size must be positive");
-  dirs_.insert("/");
+  dirs_.insert(names_.intern("/"));
   osts_.requests.assign(static_cast<std::size_t>(cfg_.stripe_count), 0);
   osts_.bytes.assign(static_cast<std::size_t>(cfg_.stripe_count), 0);
 }
 Pfs::~Pfs() = default;
 
 std::shared_ptr<Pfs::File> Pfs::lookup(const std::string& path) const {
-  auto it = files_.find(path);
-  return it == files_.end() ? nullptr : it->second;
+  const FileId id = names_.find(path);
+  return id == kNoFile || id >= files_.size() ? nullptr : files_[id];
+}
+
+std::shared_ptr<Pfs::File>& Pfs::slot(const std::string& path) {
+  const FileId id = names_.intern(path);
+  if (id >= files_.size()) files_.resize(id + 1);
+  return files_[id];
 }
 
 Pfs::File& Pfs::file_for_fd(Rank r, int fd) {
@@ -221,7 +227,7 @@ OpenResult Pfs::open(Rank r, const std::string& path, int flags, SimTime now) {
     if (!(flags & trace::kCreate)) return {-1, cfg_.meta_latency};
     f = std::make_shared<File>();
     f->path = path;
-    files_[path] = f;
+    slot(path) = f;
   }
   if (flags & trace::kTrunc) {
     f->writes.clear();
@@ -417,7 +423,7 @@ MetaResult Pfs::stat(const std::string& path, SimTime now) {
   ++locks_.meta_ops;
   auto f = lookup(path);
   if (f) return {static_cast<std::int64_t>(f->size), cfg_.meta_latency};
-  if (dirs_.contains(path)) return {0, cfg_.meta_latency};
+  if (dirs_.contains(names_.find(path))) return {0, cfg_.meta_latency};
   return {-1, cfg_.meta_latency};
 }
 
@@ -426,7 +432,8 @@ MetaResult Pfs::access(const std::string& path, SimTime now) {
     return {-1, cfg_.meta_latency, e};
   }
   ++locks_.meta_ops;
-  return {lookup(path) || dirs_.contains(path) ? 0 : -1, cfg_.meta_latency};
+  return {lookup(path) || dirs_.contains(names_.find(path)) ? 0 : -1,
+          cfg_.meta_latency};
 }
 
 MetaResult Pfs::unlink(const std::string& path, SimTime now) {
@@ -434,7 +441,10 @@ MetaResult Pfs::unlink(const std::string& path, SimTime now) {
     return {-1, cfg_.meta_latency, e};
   }
   ++locks_.meta_ops;
-  return {files_.erase(path) > 0 ? 0 : -1, cfg_.meta_latency};
+  auto f = lookup(path);
+  if (!f) return {-1, cfg_.meta_latency};
+  slot(path).reset();
+  return {0, cfg_.meta_latency};
 }
 
 MetaResult Pfs::mkdir(const std::string& path, SimTime now) {
@@ -442,7 +452,8 @@ MetaResult Pfs::mkdir(const std::string& path, SimTime now) {
     return {-1, cfg_.meta_latency, e};
   }
   ++locks_.meta_ops;
-  return {dirs_.insert(path).second ? 0 : -1, cfg_.meta_latency};
+  return {dirs_.insert(names_.intern(path)).second ? 0 : -1,
+          cfg_.meta_latency};
 }
 
 MetaResult Pfs::rename(const std::string& from, const std::string& to,
@@ -453,9 +464,9 @@ MetaResult Pfs::rename(const std::string& from, const std::string& to,
   ++locks_.meta_ops;
   auto f = lookup(from);
   if (!f) return {-1, cfg_.meta_latency};
-  files_.erase(from);
+  slot(from).reset();
   f->path = to;
-  files_[to] = f;
+  slot(to) = f;
   return {0, cfg_.meta_latency};
 }
 
@@ -585,7 +596,8 @@ std::vector<VersionTag> Pfs::crash_rank(Rank r, SimTime now) {
     return true;
   };
   std::vector<VersionTag> lost;
-  for (auto& [path, f] : files_) {
+  for (auto& f : files_) {
+    if (!f) continue;
     if (!f->laminated) {
       const std::size_t before = f->writes.size();
       std::erase_if(f->writes, [&](const WriteRecord& w) {
@@ -624,7 +636,7 @@ void Pfs::preload(const std::string& path, Offset size) {
   f->writes.push_back(w);
   f->index_write(0);
   f->size = size;
-  files_[path] = std::move(f);
+  slot(path) = std::move(f);
 }
 
 bool Pfs::exists(const std::string& path) const { return lookup(path) != nullptr; }
@@ -636,8 +648,10 @@ Offset Pfs::file_size(const std::string& path) const {
 
 std::vector<std::string> Pfs::list_files() const {
   std::vector<std::string> out;
-  out.reserve(files_.size());
-  for (const auto& [path, f] : files_) out.push_back(path);
+  for (const auto& f : files_) {
+    if (f) out.push_back(f->path);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

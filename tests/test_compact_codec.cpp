@@ -1,0 +1,310 @@
+// Robustness tests for the trace codecs, plus on-disk compatibility
+// fixtures. The compact (v2) format is LEB128 varints + zig-zag signed
+// fields + an interned path table; these tests pin down its behaviour at
+// the integer extremes and on malformed input, and the Compat suite
+// hand-crafts pre-interning v1/v2 byte streams to prove that traces
+// written before the FileId refactor still load and analyse identically
+// to bundles built in memory today.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "pfsem/core/conflict.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/trace/serialize.hpp"
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::trace {
+namespace {
+
+// --- fixture-crafting helpers (independent re-implementations of the
+// on-disk encodings, so a writer bug cannot hide behind a matching
+// reader bug) -----------------------------------------------------------
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t zz(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+template <typename T>
+void put_le(std::string& out, T v) {
+  char b[sizeof v];
+  std::memcpy(b, &v, sizeof v);
+  out.append(b, sizeof v);
+}
+
+Record make_record(Rank rank, SimTime t0, SimTime t1, Func func, int fd,
+                   std::int64_t ret, Offset off, std::uint64_t count,
+                   std::int32_t flags, FileId file) {
+  Record r;
+  r.tstart = t0;
+  r.tend = t1;
+  r.rank = rank;
+  r.layer = Layer::Posix;
+  r.origin = Layer::App;
+  r.func = func;
+  r.fd = fd;
+  r.ret = ret;
+  r.offset = off;
+  r.count = count;
+  r.flags = flags;
+  r.file = file;
+  return r;
+}
+
+/// Everything the analysis pipeline concludes from a bundle, as text:
+/// per-file reconstructed accesses plus the conflict report.
+std::string analysis_fingerprint(const TraceBundle& b) {
+  const auto log = core::reconstruct_accesses(b);
+  const auto rep = core::detect_conflicts(log);
+  std::ostringstream os;
+  os << log.nranks << '|' << log.file_count() << '\n';
+  for (const FileId id : log.ids_by_path()) {
+    os << log.path(id) << ':';
+    for (const auto& a : log.files[id].accesses) {
+      os << ' ' << a.t << ',' << a.rank << ',' << a.ext.begin << ','
+         << a.ext.end << ',' << core::to_string(a.type) << ',' << a.t_open
+         << ',' << a.t_commit << ',' << a.t_close;
+    }
+    os << '\n';
+  }
+  os << rep.potential_pairs << '|' << rep.session.count << rep.session.waw_s
+     << rep.session.waw_d << rep.session.raw_s << rep.session.raw_d << '|'
+     << rep.commit.count << rep.commit.waw_s << rep.commit.waw_d
+     << rep.commit.raw_s << rep.commit.raw_d << '\n';
+  for (const auto& c : rep.conflicts) {
+    os << log.path(c.file) << ' ' << core::to_string(c.kind) << ' '
+       << c.first.rank << ',' << c.first.t << ' ' << c.second.rank << ','
+       << c.second.t << ' ' << c.same_process << c.under_commit
+       << c.under_session << '\n';
+  }
+  return os.str();
+}
+
+/// The producer/consumer trace both Compat fixtures encode: rank 0
+/// creates "shared" and writes [0, 100); rank 1 opens it and reads the
+/// same range with no commit in between (a RAW conflict pair).
+TraceBundle reference_bundle() {
+  TraceBundle b;
+  b.nranks = 2;
+  const FileId shared = b.intern("shared");
+  b.records.push_back(make_record(0, 100, 105, Func::open, 3, 3, 0, 0,
+                                  kCreate | kRdWr, shared));
+  b.records.push_back(
+      make_record(0, 110, 120, Func::pwrite, 3, 100, 0, 100, 0, kNoFile));
+  b.records.push_back(
+      make_record(0, 130, 131, Func::close, 3, 0, 0, 0, 0, kNoFile));
+  b.records.push_back(
+      make_record(1, 200, 205, Func::open, 3, 3, 0, 0, kRdWr, shared));
+  b.records.push_back(
+      make_record(1, 210, 220, Func::pread, 3, 100, 0, 100, 0, kNoFile));
+  b.records.push_back(
+      make_record(1, 230, 231, Func::close, 3, 0, 0, 0, 0, kNoFile));
+  return b;
+}
+
+// --- compact-codec robustness ------------------------------------------
+
+TEST(CompactCodec, ZigZagAndVarintExtremesRoundTrip) {
+  TraceBundle b;
+  b.nranks = 1;
+  const FileId f = b.intern("extremes");
+  auto r = make_record(0, 0, 1, Func::pwrite, 3,
+                       std::numeric_limits<std::int64_t>::min(),
+                       std::numeric_limits<Offset>::max(),
+                       std::numeric_limits<std::uint64_t>::max(),
+                       std::numeric_limits<std::int32_t>::min(), f);
+  b.records.push_back(r);
+  r.ret = std::numeric_limits<std::int64_t>::max();
+  r.fd = std::numeric_limits<std::int32_t>::max();
+  r.flags = std::numeric_limits<std::int32_t>::max();
+  r.tstart = 2;
+  r.tend = 2;
+  b.records.push_back(r);
+
+  std::stringstream ss;
+  write_compact(b, ss);
+  const auto copy = read_compact(ss);
+  ASSERT_EQ(copy.records.size(), 2u);
+  EXPECT_EQ(copy.records[0].ret, std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(copy.records[0].offset, std::numeric_limits<Offset>::max());
+  EXPECT_EQ(copy.records[0].count, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(copy.records[0].flags, std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(copy.records[1].ret, std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(copy.records[1].fd, std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(copy.records[1].flags, std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(copy.path_of(copy.records[0]), "extremes");
+}
+
+TEST(CompactCodec, OverlongVarintRejected) {
+  // 11 continuation bytes push the decoder's shift past 64 bits; it must
+  // fail loudly instead of silently wrapping.
+  std::string s("PFSEMTR2", 8);
+  s.append(11, static_cast<char>(0x80));
+  std::istringstream is(s);
+  EXPECT_THROW((void)read_compact(is), Error);
+}
+
+TEST(CompactCodec, BadMagicRejected) {
+  std::istringstream is(std::string("PFSEMTRX", 8) + "\x01");
+  EXPECT_THROW((void)read_compact(is), Error);
+}
+
+TEST(CompactCodec, EveryTruncationThrows) {
+  std::stringstream ss;
+  write_compact(reference_bundle(), ss);
+  const std::string full = ss.str();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::istringstream is(full.substr(0, len));
+    EXPECT_THROW((void)read_compact(is), Error) << "prefix length " << len;
+  }
+}
+
+TEST(CompactCodec, DuplicatePathTableEntryRejected) {
+  std::string s("PFSEMTR2", 8);
+  put_varint(s, 1);  // nranks
+  put_varint(s, 2);  // two path entries...
+  put_varint(s, 1);
+  s += "a";
+  put_varint(s, 1);  // ...that collide
+  s += "a";
+  std::istringstream is(s);
+  EXPECT_THROW((void)read_compact(is), Error);
+}
+
+TEST(CompactCodec, EmptyPathTableRoundTrips) {
+  // A bundle whose records never name a file (pathless metadata ops) has
+  // an empty in-memory table; the writer's synthesized empty-string slot
+  // must decode back to kNoFile.
+  TraceBundle b;
+  b.nranks = 1;
+  b.records.push_back(
+      make_record(0, 10, 11, Func::umask, -1, 0, 0, 0, 022, kNoFile));
+  std::stringstream ss;
+  write_compact(b, ss);
+  const auto copy = read_compact(ss);
+  ASSERT_EQ(copy.records.size(), 1u);
+  EXPECT_EQ(copy.records[0].file, kNoFile);
+  EXPECT_EQ(copy.path_of(copy.records[0]), "");
+}
+
+TEST(CompactCodec, EmptyBundleRoundTrips) {
+  TraceBundle b;
+  b.nranks = 4;
+  std::stringstream ss;
+  write_compact(b, ss);
+  const auto copy = read_compact(ss);
+  EXPECT_EQ(copy.nranks, 4);
+  EXPECT_TRUE(copy.records.empty());
+  EXPECT_TRUE(copy.comm.p2p.empty());
+  EXPECT_TRUE(copy.comm.collectives.empty());
+}
+
+// --- pre-refactor on-disk compatibility --------------------------------
+
+TEST(SerializationCompat, V1InlinePathFixtureAnalysesIdentically) {
+  // Byte-for-byte what the pre-interning v1 writer produced: fixed-width
+  // little-endian fields with the path string inline in each record
+  // (empty for pathless records).
+  std::string s("PFSEMTRC", 8);
+  put_le<std::uint32_t>(s, 1);  // version
+  put_le<std::int32_t>(s, 2);   // nranks
+  put_le<std::uint64_t>(s, 6);  // records
+  const auto rec = [&](std::int64_t t0, std::int64_t t1, Rank rank, Func func,
+                       std::int32_t fd, std::int64_t ret, std::uint64_t off,
+                       std::uint64_t count, std::int32_t flags,
+                       const std::string& path) {
+    put_le(s, t0);
+    put_le(s, t1);
+    put_le(s, rank);
+    s.push_back(0);  // layer = Posix
+    s.push_back(6);  // origin = App
+    put_le<std::uint16_t>(s, static_cast<std::uint16_t>(func));
+    put_le(s, fd);
+    put_le(s, ret);
+    put_le(s, off);
+    put_le(s, count);
+    put_le(s, flags);
+    put_le<std::uint32_t>(s, static_cast<std::uint32_t>(path.size()));
+    s += path;
+  };
+  rec(100, 105, 0, Func::open, 3, 3, 0, 0, kCreate | kRdWr, "shared");
+  rec(110, 120, 0, Func::pwrite, 3, 100, 0, 100, 0, "");
+  rec(130, 131, 0, Func::close, 3, 0, 0, 0, 0, "");
+  rec(200, 205, 1, Func::open, 3, 3, 0, 0, kRdWr, "shared");
+  rec(210, 220, 1, Func::pread, 3, 100, 0, 100, 0, "");
+  rec(230, 231, 1, Func::close, 3, 0, 0, 0, 0, "");
+  put_le<std::uint64_t>(s, 0);  // p2p
+  put_le<std::uint64_t>(s, 0);  // collectives
+
+  std::istringstream is(s);
+  const auto loaded = read_binary(is);
+  ASSERT_EQ(loaded.records.size(), 6u);
+  EXPECT_EQ(loaded.path_of(loaded.records[0]), "shared");
+  EXPECT_EQ(loaded.records[1].file, kNoFile);
+  EXPECT_EQ(analysis_fingerprint(loaded),
+            analysis_fingerprint(reference_bundle()));
+}
+
+TEST(SerializationCompat, V2PathTableFixtureAnalysesIdentically) {
+  // Byte-for-byte what the pre-refactor v2 writer produced: a leading
+  // path table ("shared" then the synthesized empty slot) and per-record
+  // table references, varint/zig-zag encoded with per-rank time deltas.
+  std::string s("PFSEMTR2", 8);
+  put_varint(s, 2);  // nranks
+  put_varint(s, 2);  // path table: "shared", ""
+  put_varint(s, 6);
+  s += "shared";
+  put_varint(s, 0);
+  put_varint(s, 6);  // records
+  std::int64_t prev[2] = {0, 0};
+  const auto rec = [&](std::int64_t t0, std::int64_t t1, Rank rank, Func func,
+                       std::int64_t fd, std::int64_t ret, std::uint64_t off,
+                       std::uint64_t count, std::int64_t flags,
+                       std::uint64_t path_id) {
+    put_varint(s, static_cast<std::uint64_t>(rank));
+    put_varint(s, zz(t0 - prev[rank]));
+    put_varint(s, zz(t1 - t0));
+    prev[rank] = t0;
+    put_varint(s, 0 | (6u << 3) |
+                      (static_cast<std::uint64_t>(func) << 6));  // Posix/App
+    put_varint(s, zz(fd));
+    put_varint(s, zz(ret));
+    put_varint(s, off);
+    put_varint(s, count);
+    put_varint(s, zz(flags));
+    put_varint(s, path_id);
+  };
+  rec(100, 105, 0, Func::open, 3, 3, 0, 0, kCreate | kRdWr, 0);
+  rec(110, 120, 0, Func::pwrite, 3, 100, 0, 100, 0, 1);
+  rec(130, 131, 0, Func::close, 3, 0, 0, 0, 0, 1);
+  rec(200, 205, 1, Func::open, 3, 3, 0, 0, kRdWr, 0);
+  rec(210, 220, 1, Func::pread, 3, 100, 0, 100, 0, 1);
+  rec(230, 231, 1, Func::close, 3, 0, 0, 0, 0, 1);
+  put_varint(s, 0);  // p2p
+  put_varint(s, 0);  // collectives
+
+  std::istringstream is(s);
+  const auto loaded = read_compact(is);
+  ASSERT_EQ(loaded.records.size(), 6u);
+  EXPECT_EQ(loaded.path_of(loaded.records[0]), "shared");
+  EXPECT_EQ(loaded.records[1].file, kNoFile);
+  EXPECT_EQ(analysis_fingerprint(loaded),
+            analysis_fingerprint(reference_bundle()));
+}
+
+}  // namespace
+}  // namespace pfsem::trace

@@ -67,8 +67,7 @@ class FileBuilder {
     }
     AccessLog log;
     log.nranks = nranks;
-    fl_.path = "f";
-    log.files["f"] = fl_;
+    log.put("f", fl_);
     return log;
   }
 
@@ -212,18 +211,17 @@ TEST(Conflict, MultipleFilesIndependent) {
   auto log = fb.build();
   // Add a second, clean file.
   FileLog clean;
-  clean.path = "g";
   Access a;
   a.t = 10;
   a.rank = 0;
   a.ext = {0, 100};
   a.type = AccessType::Write;
   clean.accesses.push_back(a);
-  log.files["g"] = clean;
+  log.put("g", clean);
   const auto rep = detect_conflicts(log);
   EXPECT_EQ(rep.potential_pairs, 1u);
   ASSERT_EQ(rep.conflicts.size(), 1u);
-  EXPECT_EQ(rep.conflicts[0].path, "f");
+  EXPECT_EQ(log.path(rep.conflicts[0].file), "f");
 }
 
 TEST(Conflict, ExampleCapKeepsCountsExact) {
@@ -233,7 +231,7 @@ TEST(Conflict, ExampleCapKeepsCountsExact) {
     fb.access(100 + i * 10, i % 2, 0, 10, AccessType::Write);
   }
   auto log = fb.build();
-  const auto rep = detect_conflicts(log, {.max_examples_per_file = 5});
+  const auto rep = detect_conflicts(log, core::ConflictOptions{.max_examples_per_file = 5});
   EXPECT_EQ(rep.conflicts.size(), 5u);
   EXPECT_EQ(rep.potential_pairs, 190u);  // C(20,2)
   EXPECT_EQ(rep.session.count, 190u);

@@ -374,7 +374,7 @@ TEST(Determinism, ParallelAnalysisOfFaultyRunsMatchesSequential) {
     os << rep.potential_pairs << '|' << rep.session.count << '|'
        << rep.commit.count << '\n';
     for (const auto& c : rep.conflicts) {
-      os << c.path << ' ' << c.first.rank << ' ' << c.first.t << ' '
+      os << log.path(c.file) << ' ' << c.first.rank << ' ' << c.first.t << ' '
          << c.second.rank << ' ' << c.second.t << ' '
          << c.under_commit << c.under_session << '\n';
     }

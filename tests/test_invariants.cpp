@@ -49,9 +49,9 @@ AccessLog transform(const AccessLog& in,
                     const std::function<SimTime(SimTime)>& tmap) {
   AccessLog out;
   out.nranks = in.nranks;
-  for (const auto& [path, fl] : in.files) {
+  for (const auto& fl : in.files) {
+    if (!fl.active()) continue;
     FileLog nf;
-    nf.path = fl.path;
     for (Access a : fl.accesses) {
       a.t = tmap(a.t);
       a.t_open = tmap(a.t_open);
@@ -71,7 +71,7 @@ AccessLog transform(const AccessLog& in,
     nf.opens = map_table(fl.opens);
     nf.closes = map_table(fl.closes);
     nf.commits = map_table(fl.commits);
-    out.files[path] = std::move(nf);
+    out.put(in.path(fl.file), std::move(nf));
   }
   return out;
 }
@@ -134,9 +134,9 @@ TEST(Invariance, RankRelabelling) {
   auto permute = [n](Rank r) { return static_cast<Rank>(n - 1 - r); };
   AccessLog relabelled;
   relabelled.nranks = n;
-  for (const auto& [path, fl] : log.files) {
+  for (const auto& fl : log.files) {
+    if (!fl.active()) continue;
     FileLog nf;
-    nf.path = fl.path;
     for (Access a : fl.accesses) {
       a.rank = permute(a.rank);
       nf.accesses.push_back(a);
@@ -149,7 +149,7 @@ TEST(Invariance, RankRelabelling) {
     nf.opens = map_table(fl.opens);
     nf.closes = map_table(fl.closes);
     nf.commits = map_table(fl.commits);
-    relabelled.files[path] = std::move(nf);
+    relabelled.put(log.path(fl.file), std::move(nf));
   }
   const auto v = verdict_of(relabelled);
   EXPECT_EQ(v.s_waw_s, base.s_waw_s);

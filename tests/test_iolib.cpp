@@ -64,7 +64,7 @@ TEST(PosixIo, EmitsRecordsWithOriginAndTiming) {
     EXPECT_LT(r.tstart, r.tend) << "operations must take simulated time";
   }
   EXPECT_EQ(recs[1].ret, 4096);
-  EXPECT_EQ(recs[1].path, "x");
+  EXPECT_EQ(f.collector.path_view(recs[1].file), "x");
 }
 
 TEST(PosixIo, SimulatedTimeAdvancesWithCost) {
@@ -260,7 +260,7 @@ TEST(Adios, IndexByteOverwriteIsWawS) {
   const auto log = core::reconstruct_accesses(f.collector.bundle());
   bool idx_conflict = false;
   for (const auto& c : core::detect_conflicts(log).conflicts) {
-    if (c.path.find("md.idx") != std::string::npos) idx_conflict = true;
+    if (log.path(c.file).find("md.idx") != std::string::npos) idx_conflict = true;
   }
   EXPECT_TRUE(idx_conflict);
   // ADIOS creates its output directory.

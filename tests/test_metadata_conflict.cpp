@@ -63,7 +63,7 @@ class NsTraceBuilder {
     rec.rank = r;
     rec.layer = Layer::Posix;
     rec.func = f;
-    rec.path = path;
+    rec.file = bundle_.intern(path);
     rec.flags = flags;
     rec.ret = ret;
     bundle_.records.push_back(std::move(rec));
@@ -137,7 +137,7 @@ TEST(MetadataDeps, ExactPathBeatsAncestor) {
   // The observation of dir/f must pair with the file create, not mkdir.
   const auto& dep = rep.dependencies.back();
   EXPECT_EQ(dep.mutate.rank, 1);
-  EXPECT_EQ(dep.mutate.path, "dir/f");
+  EXPECT_EQ(tb.bundle().paths.view(dep.mutate.file), "dir/f");
 }
 
 TEST(MetadataDeps, UnlinkIsAMutation) {

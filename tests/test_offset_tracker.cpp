@@ -74,7 +74,7 @@ class TraceBuilder {
     rec.offset = off;
     rec.count = count;
     rec.flags = flags;
-    rec.path = path;
+    rec.file = path.empty() ? kNoFile : bundle_.intern(path);
     bundle_.records.push_back(std::move(rec));
   }
 
@@ -86,7 +86,7 @@ TEST(OffsetTracker, SequentialWritesAdvance) {
   TraceBuilder tb(1);
   tb.open(0, 3, "f", trace::kCreate).write(0, 3, 100).write(0, 3, 50).close(0, 3);
   const auto log = reconstruct_accesses(tb.bundle());
-  const auto& acc = log.files.at("f").accesses;
+  const auto& acc = log.at("f").accesses;
   ASSERT_EQ(acc.size(), 2u);
   EXPECT_EQ(acc[0].ext, (Extent{0, 100}));
   EXPECT_EQ(acc[1].ext, (Extent{100, 150}));
@@ -105,7 +105,7 @@ TEST(OffsetTracker, SeekSetCurEnd) {
       .read(0, 3, 100)  // [900,1000)
       .close(0, 3);
   const auto log = reconstruct_accesses(tb.bundle());
-  const auto& acc = log.files.at("f").accesses;
+  const auto& acc = log.at("f").accesses;
   ASSERT_EQ(acc.size(), 4u);
   EXPECT_EQ(acc[1].ext, (Extent{100, 150}));
   EXPECT_EQ(acc[2].ext, (Extent{180, 200}));
@@ -124,7 +124,7 @@ TEST(OffsetTracker, AppendTracksSharedFileSize) {
       .close(0, 3)
       .close(1, 3);
   const auto log = reconstruct_accesses(tb.bundle());
-  const auto& acc = log.files.at("log").accesses;
+  const auto& acc = log.at("log").accesses;
   ASSERT_EQ(acc.size(), 3u);
   EXPECT_EQ(acc[0].ext, (Extent{0, 100}));
   EXPECT_EQ(acc[1].ext, (Extent{100, 300}));
@@ -141,7 +141,7 @@ TEST(OffsetTracker, TruncResetsSize) {
       .write(0, 4, 10)  // EOF is 0 after O_TRUNC
       .close(0, 4);
   const auto log = reconstruct_accesses(tb.bundle());
-  const auto& acc = log.files.at("f").accesses;
+  const auto& acc = log.at("f").accesses;
   EXPECT_EQ(acc.back().ext, (Extent{0, 10}));
 }
 
@@ -154,7 +154,7 @@ TEST(OffsetTracker, FtruncateAdjustsSeekEnd) {
       .write(0, 3, 10)
       .close(0, 3);
   const auto log = reconstruct_accesses(tb.bundle());
-  EXPECT_EQ(log.files.at("f").accesses.back().ext, (Extent{100, 110}));
+  EXPECT_EQ(log.at("f").accesses.back().ext, (Extent{100, 110}));
 }
 
 TEST(OffsetTracker, PreadDoesNotMoveOffset) {
@@ -165,7 +165,7 @@ TEST(OffsetTracker, PreadDoesNotMoveOffset) {
       .write(0, 3, 10)  // continues at 100, not 30
       .close(0, 3);
   const auto log = reconstruct_accesses(tb.bundle());
-  const auto& acc = log.files.at("f").accesses;
+  const auto& acc = log.at("f").accesses;
   EXPECT_EQ(acc[2].ext, (Extent{100, 110}));
 }
 
@@ -177,7 +177,7 @@ TEST(OffsetTracker, AnnotatesOpenCommitClose) {
       .write(0, 3, 100)                // t=30
       .close(0, 3);                    // t=40
   const auto log = reconstruct_accesses(tb.bundle());
-  const auto& fl = log.files.at("f");
+  const auto& fl = log.at("f");
   ASSERT_EQ(fl.accesses.size(), 2u);
   const auto& w1 = fl.accesses[0];
   EXPECT_EQ(w1.t_open, 0);
@@ -200,15 +200,15 @@ TEST(OffsetTracker, PerRankFdSpacesAreIndependent) {
       .close(0, 3)
       .close(1, 3);
   const auto log = reconstruct_accesses(tb.bundle());
-  EXPECT_EQ(log.files.at("a").accesses[0].ext, (Extent{0, 10}));
-  EXPECT_EQ(log.files.at("b").accesses[0].ext, (Extent{0, 20}));
+  EXPECT_EQ(log.at("a").accesses[0].ext, (Extent{0, 10}));
+  EXPECT_EQ(log.at("b").accesses[0].ext, (Extent{0, 20}));
 }
 
 TEST(OffsetTracker, ZeroByteOpsIgnored) {
   TraceBuilder tb(1);
   tb.open(0, 3, "f", trace::kCreate).write(0, 3, 0).read(0, 3, 0).close(0, 3);
   const auto log = reconstruct_accesses(tb.bundle());
-  EXPECT_TRUE(log.files.at("f").accesses.empty());
+  EXPECT_TRUE(log.at("f").accesses.empty());
 }
 
 TEST(OffsetTracker, UnknownFdThrows) {
@@ -288,7 +288,7 @@ TEST(OffsetTrackerProperty, MatchesReferenceModelOnRandomSequences) {
     }
     tb.close(0, 3);
     const auto log = reconstruct_accesses(tb.bundle());
-    const auto& acc = log.files.at("f").accesses;
+    const auto& acc = log.at("f").accesses;
     ASSERT_EQ(acc.size(), expected.size()) << "seed " << seed;
     for (std::size_t i = 0; i < acc.size(); ++i) {
       EXPECT_EQ(acc[i].ext, expected[i]) << "seed " << seed << " op " << i;

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "pfsem/apps/registry.hpp"
+#include "pfsem/core/advisor.hpp"
 #include "pfsem/core/conflict.hpp"
+#include "pfsem/core/happens_before.hpp"
 #include "pfsem/core/offset_tracker.hpp"
 #include "pfsem/core/overlap.hpp"
 #include "pfsem/core/report.hpp"
@@ -103,7 +105,7 @@ core::AccessLog random_log(std::uint64_t seed) {
   log.nranks = 8;
   const std::size_t nfiles = 1 + rng.below(6);
   for (std::size_t f = 0; f < nfiles; ++f) {
-    auto& fl = log.files["f" + std::to_string(f)];
+    auto& fl = log.file("f" + std::to_string(f));
     auto v = random_accesses(seed * 101 + f);
     for (std::size_t i = 0; i < v.size(); ++i) {
       v[i].t = static_cast<SimTime>(i * 10);
@@ -127,7 +129,7 @@ std::string fingerprint(const core::ConflictReport& r) {
      << r.commit.count << r.commit.waw_s << r.commit.waw_d << r.commit.raw_s
      << r.commit.raw_d << '\n';
   for (const auto& c : r.conflicts) {
-    os << c.path << ' ' << c.first.rank << ' ' << c.first.t << ' '
+    os << c.file << ' ' << c.first.rank << ' ' << c.first.t << ' '
        << c.first.ext.begin << ' ' << c.first.ext.end << ' ' << c.second.rank
        << ' ' << c.second.t << ' ' << c.second.ext.begin << ' '
        << c.second.ext.end << ' ' << static_cast<int>(c.kind) << ' '
@@ -139,9 +141,9 @@ std::string fingerprint(const core::ConflictReport& r) {
 TEST(ConflictDiff, ParallelEqualsSequentialAcrossSeeds) {
   for (std::uint64_t seed = 0; seed < 30; ++seed) {
     const auto log = random_log(seed);
-    const auto seq = core::detect_conflicts(log, {.threads = 1});
+    const auto seq = core::detect_conflicts(log, core::ConflictOptions{.threads = 1});
     for (const int threads : {2, 4, 8}) {
-      const auto par = core::detect_conflicts(log, {.threads = threads});
+      const auto par = core::detect_conflicts(log, core::ConflictOptions{.threads = threads});
       ASSERT_EQ(fingerprint(par), fingerprint(seq))
           << "seed=" << seed << " threads=" << threads;
     }
@@ -170,6 +172,8 @@ TEST(ConflictDiff, PrecomputedPairsMatchDirectDetection) {
 }
 
 TEST(PipelineDiff, EveryRegisteredAppReportsByteIdenticalAcrossThreads) {
+  // Everything the CLI can print — report, advise, tune — rendered at
+  // several thread counts must be byte-identical to the sequential run.
   apps::AppConfig cfg;
   cfg.nranks = 8;
   cfg.ranks_per_node = 4;
@@ -177,13 +181,25 @@ TEST(PipelineDiff, EveryRegisteredAppReportsByteIdenticalAcrossThreads) {
     const auto bundle = apps::run_app(info, cfg);
     const auto log = core::reconstruct_accesses(bundle);
     std::string reference;
-    for (const int threads : {1, 4}) {
+    for (const int threads : {1, 2, 4}) {
       const auto pairs = core::detect_file_overlaps(log, {}, threads);
       const auto conflicts =
           core::detect_conflicts(log, pairs, {.threads = threads});
       const auto rep = core::build_report(bundle, log, conflicts, threads);
       std::ostringstream os;
       core::print_report(rep, os);
+      core::HappensBefore hb(bundle.comm, bundle.nranks);
+      const auto advice = core::advise(conflicts, &hb, threads);
+      os << vfs::to_string(advice.weakest) << '|'
+         << vfs::to_string(advice.weakest_strict) << '|' << advice.race_free
+         << '|' << advice.rationale << '\n';
+      const auto tuning = core::per_file_tuning(log, threads);
+      for (const auto& f : tuning.files) {
+        os << f.path << ' ' << vfs::to_string(f.weakest) << ' ' << f.bytes
+           << ' ' << f.session_pairs << ' ' << f.commit_pairs << '\n';
+      }
+      os << tuning.total_bytes << '|' << tuning.relaxed_bytes << '|'
+         << tuning.eventual_fraction() << '\n';
       if (threads == 1) {
         reference = os.str();
       } else {

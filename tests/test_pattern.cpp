@@ -24,9 +24,8 @@ AccessLog make_log(std::vector<Access> accesses, int nranks) {
   AccessLog log;
   log.nranks = nranks;
   FileLog fl;
-  fl.path = "f";
   fl.accesses = std::move(accesses);
-  log.files["f"] = std::move(fl);
+  log.put("f", std::move(fl));
   return log;
 }
 
@@ -91,7 +90,7 @@ TEST(Transitions, EmptyMixSafeFractions) {
 
 TEST(Layout, SingleWriterConsecutive) {
   auto log = make_log({acc(0, 0, 0, 8192), acc(10, 0, 8192, 8192)}, 4);
-  EXPECT_EQ(classify_file_layout(log.files.at("f")), FileLayout::Consecutive);
+  EXPECT_EQ(classify_file_layout(log.at("f")), FileLayout::Consecutive);
 }
 
 TEST(Layout, SmallGapsToleratedAsConsecutive) {
@@ -99,7 +98,7 @@ TEST(Layout, SmallGapsToleratedAsConsecutive) {
   auto log = make_log({acc(0, 0, 0, 8192), acc(10, 0, 8704, 8192),
                        acc(20, 0, 17408, 8192)},
                       1);
-  EXPECT_EQ(classify_file_layout(log.files.at("f")), FileLayout::Consecutive);
+  EXPECT_EQ(classify_file_layout(log.at("f")), FileLayout::Consecutive);
 }
 
 TEST(Layout, IdenticalFullReadsConsecutive) {
@@ -111,7 +110,7 @@ TEST(Layout, IdenticalFullReadsConsecutive) {
                       AccessType::Read));
     }
   }
-  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 4).files.at("f")),
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 4).at("f")),
             FileLayout::Consecutive);
 }
 
@@ -121,7 +120,7 @@ TEST(Layout, RankSegmentsAreStrided) {
   for (Rank r = 0; r < 8; ++r) {
     v.push_back(acc(r * 10, r, static_cast<Offset>(r) * 65536, 65536));
   }
-  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 8).files.at("f")),
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 8).at("f")),
             FileLayout::Strided);
 }
 
@@ -135,7 +134,7 @@ TEST(Layout, RepeatedAffineRoundsAreStridedCyclic) {
       v.push_back(acc(t += 10, r, base + static_cast<Offset>(r) * 65536, 65536));
     }
   }
-  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 6).files.at("f")),
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 6).at("f")),
             FileLayout::StridedCyclic);
 }
 
@@ -150,7 +149,7 @@ TEST(Layout, MonotonicIrregularIsStrided) {
     v.push_back(acc(t += 10, r, off, len));
     off += len + 10'000;
   }
-  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 3).files.at("f")),
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 3).at("f")),
             FileLayout::Strided);
 }
 
@@ -161,7 +160,7 @@ TEST(Layout, InterleavedOverwritesAreRandom) {
   for (int i = 0; i < 6; ++i) {
     v.push_back(acc(t += 10, i % 2, offs[i], 8192));
   }
-  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 2).files.at("f")),
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 2).at("f")),
             FileLayout::Random);
 }
 
@@ -174,7 +173,7 @@ TEST(Layout, MetadataFilteredOut) {
     v.push_back(acc(t += 10, 0, 8192 + static_cast<Offset>(i) * 65536, 65536));
     v.push_back(acc(t += 10, 0, 0, 8));
   }
-  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 1).files.at("f")),
+  EXPECT_EQ(classify_file_layout(make_log(std::move(v), 1).at("f")),
             FileLayout::Consecutive);
 }
 
@@ -184,7 +183,7 @@ TEST(Layout, DominantTypeWinsOverReadback) {
   auto log = make_log({acc(0, 0, 0, 65536), acc(10, 0, 65536, 65536),
                        acc(20, 0, 126976, 4096, AccessType::Read)},
                       1);
-  EXPECT_EQ(classify_file_layout(log.files.at("f")), FileLayout::Consecutive);
+  EXPECT_EQ(classify_file_layout(log.at("f")), FileLayout::Consecutive);
 }
 
 // --- high-level X-Y classification -----------------------------------------
@@ -198,9 +197,8 @@ AccessLog multi_file_log(
     std::sort(accesses.begin(), accesses.end(),
               [](const Access& a, const Access& b) { return a.t < b.t; });
     FileLog fl;
-    fl.path = path;
     fl.accesses = std::move(accesses);
-    log.files[path] = std::move(fl);
+    log.put(path, std::move(fl));
   }
   return log;
 }

@@ -23,9 +23,8 @@ AccessLog make_log(std::vector<Access> v) {
   AccessLog log;
   log.nranks = 8;
   FileLog fl;
-  fl.path = "f";
   fl.accesses = std::move(v);
-  log.files["f"] = std::move(fl);
+  log.put("f", std::move(fl));
   return log;
 }
 

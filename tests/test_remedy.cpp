@@ -17,7 +17,6 @@ AccessLog log_with_accesses(
   AccessLog log;
   log.nranks = 4;
   FileLog fl;
-  fl.path = "f";
   for (const auto& [t, rank, ext, type] : rows) {
     Access a;
     a.t = t;
@@ -30,7 +29,7 @@ AccessLog log_with_accesses(
   }
   std::sort(fl.accesses.begin(), fl.accesses.end(),
             [](const Access& a, const Access& b) { return a.t < b.t; });
-  log.files["f"] = std::move(fl);
+  log.put("f", std::move(fl));
   return log;
 }
 

@@ -10,12 +10,10 @@
 namespace pfsem::core {
 namespace {
 
-FileLog make_file(const std::string& path,
-                  std::vector<std::tuple<SimTime, Rank, Extent, AccessType,
+FileLog make_file(                  std::vector<std::tuple<SimTime, Rank, Extent, AccessType,
                                          SimTime, SimTime, SimTime>>
                       rows) {
   FileLog fl;
-  fl.path = path;
   for (const auto& [t, rank, ext, type, t_open, t_commit, t_close] : rows) {
     Access a;
     a.t = t;
@@ -33,9 +31,8 @@ FileLog make_file(const std::string& path,
 TEST(Tuning, ConflictFreeFileIsEventual) {
   AccessLog log;
   log.nranks = 2;
-  log.files["clean"] = make_file(
-      "clean", {{10, 0, {0, 100}, AccessType::Write, 0, 50, 50},
-                {20, 1, {100, 200}, AccessType::Write, 0, 60, 60}});
+  log.put("clean", make_file({{10, 0, {0, 100}, AccessType::Write, 0, 50, 50},
+                {20, 1, {100, 200}, AccessType::Write, 0, 60, 60}}));
   const auto rep = per_file_tuning(log);
   ASSERT_EQ(rep.files.size(), 1u);
   EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Eventual);
@@ -45,9 +42,8 @@ TEST(Tuning, ConflictFreeFileIsEventual) {
 TEST(Tuning, SameProcessConflictStaysSession) {
   AccessLog log;
   log.nranks = 2;
-  log.files["idx"] = make_file(
-      "idx", {{10, 0, {0, 8}, AccessType::Write, 0, kTimeNever, kTimeNever},
-              {20, 0, {0, 8}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  log.put("idx", make_file({{10, 0, {0, 8}, AccessType::Write, 0, kTimeNever, kTimeNever},
+              {20, 0, {0, 8}, AccessType::Write, 0, kTimeNever, kTimeNever}}));
   const auto rep = per_file_tuning(log);
   EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Session);
   EXPECT_EQ(rep.files[0].session_pairs, 1u);
@@ -58,9 +54,8 @@ TEST(Tuning, CrossProcessClearedByCommitIsCommit) {
   log.nranks = 2;
   // writer commits at 15, before the second access at 20: commit clean,
   // session conflicting.
-  log.files["meta"] = make_file(
-      "meta", {{10, 0, {0, 96}, AccessType::Write, 0, 15, kTimeNever},
-               {20, 1, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  log.put("meta", make_file({{10, 0, {0, 96}, AccessType::Write, 0, 15, kTimeNever},
+               {20, 1, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever}}));
   const auto rep = per_file_tuning(log);
   EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Commit);
 }
@@ -68,9 +63,8 @@ TEST(Tuning, CrossProcessClearedByCommitIsCommit) {
 TEST(Tuning, CrossProcessUnclearedNeedsStrong) {
   AccessLog log;
   log.nranks = 2;
-  log.files["hot"] = make_file(
-      "hot", {{10, 0, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever},
-              {20, 1, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  log.put("hot", make_file({{10, 0, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever},
+              {20, 1, {0, 96}, AccessType::Write, 0, kTimeNever, kTimeNever}}));
   const auto rep = per_file_tuning(log);
   EXPECT_EQ(rep.files[0].weakest, vfs::ConsistencyModel::Strong);
   EXPECT_EQ(rep.relaxed_fraction(), 0.0);
@@ -79,12 +73,10 @@ TEST(Tuning, CrossProcessUnclearedNeedsStrong) {
 TEST(Tuning, MixedFilesAggregateByBytes) {
   AccessLog log;
   log.nranks = 2;
-  log.files["bulk"] = make_file(
-      "bulk", {{10, 0, {0, 900}, AccessType::Write, 0, 50, 50},
-               {20, 1, {900, 1800}, AccessType::Write, 0, 60, 60}});
-  log.files["hot"] = make_file(
-      "hot", {{10, 0, {0, 100}, AccessType::Write, 0, kTimeNever, kTimeNever},
-              {20, 1, {0, 100}, AccessType::Write, 0, kTimeNever, kTimeNever}});
+  log.put("bulk", make_file({{10, 0, {0, 900}, AccessType::Write, 0, 50, 50},
+               {20, 1, {900, 1800}, AccessType::Write, 0, 60, 60}}));
+  log.put("hot", make_file({{10, 0, {0, 100}, AccessType::Write, 0, kTimeNever, kTimeNever},
+              {20, 1, {0, 100}, AccessType::Write, 0, kTimeNever, kTimeNever}}));
   const auto rep = per_file_tuning(log);
   EXPECT_EQ(rep.total_bytes, 2000u);
   EXPECT_EQ(rep.relaxed_bytes, 1800u);

@@ -301,14 +301,14 @@ TEST_P(RandomWorkloadSweep, StaleReadsAreAlwaysFlagged) {
     const auto log = core::reconstruct_accesses(
         run.bundle, {.validate_against_ground_truth = true});
     const auto report =
-        core::detect_conflicts(log, {.max_examples_per_file = 100000});
+        core::detect_conflicts(log, core::ConflictOptions{.max_examples_per_file = 100000});
 
     // Reads flagged as RAW-conflict seconds, and the byte ranges of
     // flagged WAW conflicts, under this model.
     std::set<std::pair<Rank, SimTime>> flagged;
     std::vector<Extent> waw_regions;
     std::map<std::pair<Rank, SimTime>, Extent> read_extents;
-    for (const auto& [path, fl] : log.files) {
+    for (const auto& fl : log.files) {
       for (const auto& a : fl.accesses) {
         if (a.type == core::AccessType::Read) {
           read_extents[{a.rank, a.t}] = a.ext;
