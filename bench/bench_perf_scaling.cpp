@@ -9,13 +9,22 @@
 //                                      output always; speedup bounds only
 //                                      where the host can express them)
 //
-// Two experiments:
-//   threads  detect_conflicts over a synthetic many-file log at 1/2/4/8
-//            threads — the work-stealing pool scaling curve;
-//   sweep    sweep-line vs the paper's Algorithm-1 scan on an adversarial
-//            long-lived-read log — the single-thread algorithmic win.
+// Experiments:
+//   threads        detect_conflicts over a synthetic many-file log at
+//                  1/2/4/8 threads — the work-stealing pool scaling curve;
+//   sweep          sweep-line vs the paper's Algorithm-1 scan on an
+//                  adversarial long-lived-read log — the single-thread
+//                  algorithmic win;
+//   reconstruction interned vs string-keyed record grouping;
+//   capture        bucketed-ring scheduler + per-rank arenas vs the
+//                  retained reference capture path on an adversarial
+//                  delay(0)-heavy workload (--check floor: >=2x, and the
+//                  two bundles must be byte-identical);
+//   run_to_report  a registered app (FLASH-fbs) driven end to end —
+//                  capture + full report — at ranks 64/256/1024.
 
 #include <algorithm>
+#include <utility>
 #include <chrono>
 #include <cstring>
 #include <map>
@@ -25,11 +34,16 @@
 #include <string>
 #include <vector>
 
+#include "pfsem/apps/registry.hpp"
 #include "pfsem/core/conflict.hpp"
+#include "pfsem/core/report.hpp"
 #include "pfsem/trace/record.hpp"
+#include "pfsem/trace/serialize.hpp"
 #include "pfsem/core/offset_tracker.hpp"
 #include "pfsem/core/overlap.hpp"
 #include "pfsem/exec/pool.hpp"
+#include "pfsem/sim/engine.hpp"
+#include "pfsem/trace/collector.hpp"
 #include "pfsem/util/rng.hpp"
 
 namespace {
@@ -183,7 +197,119 @@ std::size_t group_by_id(const trace::TraceBundle& bundle) {
   return active;
 }
 
-int run(bool check, const std::string& out_path) {
+/// Adversarial delay(0)-heavy capture workload: `roots` coroutines (spread
+/// over 64 collector ranks) each do `rounds` fairness round-trips, almost
+/// all at the current timestamp — the pending-event set stays ~`roots`
+/// deep, so the reference heap pays O(log roots) with cold cache lines on
+/// every event while the bucket ring pays O(1) — and emit one pwrite
+/// record per round through the collector under test.
+struct CaptureRun {
+  double seconds = 0;
+  std::string compact_bytes;
+  std::uint64_t events = 0;
+};
+
+CaptureRun run_capture(sim::SchedulerKind kind, trace::CaptureMode mode,
+                       int roots, int rounds, int reps) {
+  constexpr int kRanks = 64;
+  CaptureRun out;
+  trace::TraceBundle bundle;
+  const double secs = best_of(reps, [&] {
+    sim::Engine engine(kind);
+    trace::Collector collector(kRanks, {}, mode);
+    collector.reserve(kRanks, static_cast<std::size_t>(roots) *
+                                  static_cast<std::size_t>(rounds) / kRanks);
+    std::vector<FileId> files;
+    files.reserve(kRanks);
+    for (int f = 0; f < kRanks; ++f) {
+      files.push_back(
+          collector.intern("/scratch/capture/shard." + std::to_string(f)));
+    }
+    auto proc = [](sim::Engine* eng, trace::Collector* col, Rank rank,
+                   FileId file, int id, int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        // Each emitted record rides on a burst of fairness round-trips —
+        // the shape of contended collective I/O, where ranks yield many
+        // times per operation. Almost all delays are 0 with a sprinkle of
+        // near-ring and far-heap delays so both tiers stay live (the mix
+        // is deterministic per task), keeping the pending set ~roots deep.
+        for (int s = 0; s < 8; ++s) {
+          SimDuration d = 0;
+          const int step = i * 8 + s;
+          if ((step + id) % 61 == 7) d = 1 + (id % 3);
+          if ((step + id) % 257 == 21) d = 100 + (id % 50);
+          co_await eng->delay(d);
+        }
+        trace::Record rec;
+        rec.tstart = eng->now();
+        rec.tend = eng->now() + 1;
+        rec.rank = rank;
+        rec.func = trace::Func::pwrite;
+        rec.offset = static_cast<Offset>(i) * 4096;
+        rec.count = 4096;
+        rec.ret = 4096;
+        rec.file = file;
+        col->emit(rec);
+      }
+    };
+    for (int id = 0; id < roots; ++id) {
+      engine.spawn(proc(&engine, &collector, static_cast<Rank>(id % kRanks),
+                        files[static_cast<std::size_t>(id % kRanks)], id,
+                        rounds));
+    }
+    engine.run();
+    bundle = collector.take();
+    out.events = engine.events_dispatched();
+  });
+  out.seconds = secs;
+  std::ostringstream os;
+  trace::write_compact(bundle, os);
+  out.compact_bytes = os.str();
+  return out;
+}
+
+/// One end-to-end run→report point: capture FLASH-fbs at `ranks` on the
+/// given capture path, then (fast path only) the full analysis + report.
+struct RunToReportPoint {
+  int ranks = 0;
+  std::size_t records = 0;
+  double capture_seconds = 0;
+  double capture_reference_seconds = 0;
+  double analysis_seconds = 0;
+};
+
+RunToReportPoint run_to_report(const apps::AppInfo& info, int ranks,
+                               int reps) {
+  RunToReportPoint pt;
+  pt.ranks = ranks;
+  apps::AppConfig cfg;
+  cfg.nranks = ranks;
+  cfg.ranks_per_node = std::max(1, ranks / 8);
+
+  trace::TraceBundle bundle;
+  pt.capture_seconds =
+      best_of(reps, [&] { bundle = apps::run_app(info, cfg); });
+  pt.records = bundle.records.size();
+
+  apps::AppConfig ref_cfg = cfg;
+  ref_cfg.scheduler = sim::SchedulerKind::Heap;
+  ref_cfg.capture = trace::CaptureMode::Reference;
+  pt.capture_reference_seconds =
+      best_of(reps, [&] { (void)apps::run_app(info, ref_cfg); });
+
+  pt.analysis_seconds = best_of(reps, [&] {
+    const auto log = core::reconstruct_accesses(bundle);
+    const auto pairs = core::detect_file_overlaps(log);
+    const auto conflicts = core::detect_conflicts(log, pairs, {});
+    const auto rep = core::build_report(bundle, log, conflicts);
+    std::ostringstream os;
+    core::print_report(rep, os);
+    if (os.str().empty()) std::abort();  // keep the report alive
+  });
+  return pt;
+}
+
+int run(bool check, const std::string& out_path, const std::string& sha) {
   const int cores = exec::hardware_threads();
   const std::size_t nfiles = check ? 32 : 128;
   const std::size_t per_file = check ? 2'000 : 20'000;
@@ -248,6 +374,56 @@ int run(bool check, const std::string& out_path) {
             << " s   interned " << interned_s << " s   speedup "
             << intern_speedup << "x\n";
 
+  // --- experiment 4: capture path — bucketed+arenas vs reference --------
+  // The reference pair (heap scheduler + single global emitter) is the
+  // retained pre-PR capture path; the fast pair must produce the exact
+  // same compact bytes and beat it >=2x on this delay(0)-heavy workload.
+  const int cap_roots = check ? 32'768 : 65'536;
+  const int cap_rounds = check ? 8 : 16;
+  // Interleave the repetitions (fast, reference, fast, reference, ...) and
+  // keep each side's best so a transient load spike on a shared host hits
+  // both paths instead of biasing one of them.
+  CaptureRun cap_fast, cap_ref;
+  for (int rep = 0; rep < (check ? 3 : reps); ++rep) {
+    auto f = run_capture(sim::SchedulerKind::Bucketed, trace::CaptureMode::Fast,
+                         cap_roots, cap_rounds, 1);
+    auto r = run_capture(sim::SchedulerKind::Heap, trace::CaptureMode::Reference,
+                         cap_roots, cap_rounds, 1);
+    if (rep == 0) {
+      cap_fast = std::move(f);
+      cap_ref = std::move(r);
+    } else {
+      cap_fast.seconds = std::min(cap_fast.seconds, f.seconds);
+      cap_ref.seconds = std::min(cap_ref.seconds, r.seconds);
+    }
+  }
+  if (cap_fast.compact_bytes != cap_ref.compact_bytes) {
+    std::cerr << "FAIL: fast and reference capture paths produced "
+                 "different bundles\n";
+    return 1;
+  }
+  const double capture_speedup = cap_ref.seconds / cap_fast.seconds;
+  std::cout << "capture path (" << cap_fast.events << " events): bucketed+arenas "
+            << cap_fast.seconds << " s   heap+global " << cap_ref.seconds
+            << " s   speedup " << capture_speedup << "x\n";
+
+  // --- experiment 5: end-to-end run -> report on a registered app -------
+  const auto* flash = apps::find_app("FLASH-fbs");
+  if (flash == nullptr) {
+    std::cerr << "FAIL: FLASH-fbs not in the registry\n";
+    return 1;
+  }
+  std::vector<RunToReportPoint> r2r;
+  for (const int ranks : check ? std::vector<int>{64}
+                               : std::vector<int>{64, 256, 1024}) {
+    const auto pt = run_to_report(*flash, ranks, check ? 1 : 2);
+    std::cout << "run_to_report FLASH-fbs ranks=" << pt.ranks << "  records="
+              << pt.records << "  capture " << pt.capture_seconds
+              << " s (reference " << pt.capture_reference_seconds
+              << " s)   analysis " << pt.analysis_seconds << " s\n";
+    r2r.push_back(pt);
+  }
+
   if (check) {
     // Parallel output already proven identical above. Speedup bounds:
     // the algorithmic sweep-vs-scan win holds on any machine; the
@@ -262,6 +438,13 @@ int run(bool check, const std::string& out_path) {
     if (intern_speedup < 1.5) {
       std::cerr << "FAIL: interned grouping speedup " << intern_speedup
                 << "x below the 1.5x bound\n";
+      return 1;
+    }
+    // The capture floor is algorithmic too: O(1) bucket ops vs O(log n)
+    // heap ops on a ~16Ki-deep pending set, so it holds on any host.
+    if (capture_speedup < 2.0) {
+      std::cerr << "FAIL: capture-path speedup " << capture_speedup
+                << "x below the 2x bound\n";
       return 1;
     }
     if (cores >= 2) {
@@ -286,6 +469,7 @@ int run(bool check, const std::string& out_path) {
     return 1;
   }
   os << "{\n"
+     << "  \"git_sha\": \"" << sha << "\",\n"
      << "  \"hardware_threads\": " << cores << ",\n"
      << "  \"conflict_scaling\": {\n"
      << "    \"files\": " << nfiles << ",\n"
@@ -315,6 +499,27 @@ int run(bool check, const std::string& out_path) {
      << "    \"string_keyed_seconds\": " << string_s << ",\n"
      << "    \"interned_seconds\": " << interned_s << ",\n"
      << "    \"speedup\": " << intern_speedup << "\n"
+     << "  },\n"
+     << "  \"capture_path\": {\n"
+     << "    \"roots\": " << cap_roots << ",\n"
+     << "    \"rounds\": " << cap_rounds << ",\n"
+     << "    \"events\": " << cap_fast.events << ",\n"
+     << "    \"bucketed_arena_seconds\": " << cap_fast.seconds << ",\n"
+     << "    \"heap_global_seconds\": " << cap_ref.seconds << ",\n"
+     << "    \"speedup\": " << capture_speedup << "\n"
+     << "  },\n"
+     << "  \"run_to_report\": {\n"
+     << "    \"app\": \"FLASH-fbs\",\n"
+     << "    \"points\": [";
+  for (std::size_t i = 0; i < r2r.size(); ++i) {
+    const auto& pt = r2r[i];
+    os << (i ? ", " : "") << "{\"ranks\": " << pt.ranks
+       << ", \"records\": " << pt.records
+       << ", \"capture_seconds\": " << pt.capture_seconds
+       << ", \"capture_reference_seconds\": " << pt.capture_reference_seconds
+       << ", \"analysis_seconds\": " << pt.analysis_seconds << "}";
+  }
+  os << "]\n"
      << "  }\n"
      << "}\n";
   std::cout << "wrote " << out_path << "\n";
@@ -326,15 +531,19 @@ int run(bool check, const std::string& out_path) {
 int main(int argc, char** argv) {
   bool check = false;
   std::string out = "BENCH_perf.json";
+  std::string sha = "unknown";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--sha") == 0 && i + 1 < argc) {
+      sha = argv[++i];
     } else {
-      std::cerr << "usage: bench_perf_scaling [--check] [--out FILE]\n";
+      std::cerr
+          << "usage: bench_perf_scaling [--check] [--out FILE] [--sha SHA]\n";
       return 2;
     }
   }
-  return run(check, out);
+  return run(check, out, sha);
 }

@@ -3,6 +3,11 @@
 # builds the harness if needed. See docs/performance.md for the format.
 set -e
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+sha=$(git -C "$root" rev-parse --short HEAD 2> /dev/null || echo unknown)
+if ! git -C "$root" diff --quiet HEAD 2> /dev/null; then
+  sha="$sha-dirty"
+fi
 cmake -S "$root" -B "$root/build" > /dev/null
 cmake --build "$root/build" --target bench_perf_scaling -j > /dev/null
-exec "$root/build/bench/bench_perf_scaling" --out "$root/BENCH_perf.json"
+exec "$root/build/bench/bench_perf_scaling" \
+  --out "$root/BENCH_perf.json" --sha "$sha"

@@ -1,5 +1,7 @@
 #include "pfsem/apps/harness.hpp"
 
+#include <algorithm>
+
 #include "pfsem/util/error.hpp"
 
 namespace pfsem::apps {
@@ -13,13 +15,23 @@ Harness::Harness(AppConfig cfg, vfs::PfsConfig pfs_cfg,
 Harness::Harness(AppConfig cfg, std::unique_ptr<vfs::FileSystem> fs,
                  std::vector<sim::ClockModel> clocks)
     : cfg_(cfg),
-      collector_(cfg.nranks, std::move(clocks)),
+      collector_(cfg.nranks, std::move(clocks), cfg.capture),
+      engine_(cfg.scheduler),
       fs_(std::move(fs)),
       world_(engine_, collector_,
              mpi::WorldConfig{.nranks = cfg.nranks,
                               .ranks_per_node = cfg.ranks_per_node,
                               .seed = cfg.seed}) {
   require(fs_ != nullptr, "Harness needs a file system backend");
+  // Pre-size the collector's per-rank arenas. The registered app models
+  // emit a few records per rank per time step (open/write/close plus
+  // library bookkeeping), so steps-derived guesses land within a small
+  // factor; an explicit hint wins when the caller knows better.
+  const std::size_t hint =
+      cfg.ops_per_rank_hint != 0
+          ? cfg.ops_per_rank_hint
+          : static_cast<std::size_t>(std::max(cfg.steps, 1)) * 4 + 32;
+  collector_.reserve(cfg.nranks, hint);
   rank_rngs_.reserve(static_cast<std::size_t>(cfg.nranks));
   for (int r = 0; r < cfg.nranks; ++r) {
     rank_rngs_.emplace_back(cfg.seed * 1000003 + static_cast<std::uint64_t>(r));

@@ -32,6 +32,15 @@ struct AppConfig {
   /// access *structure* is what the analysis consumes.
   std::uint64_t bytes_per_rank = 256 * 1024;
   std::uint64_t seed = 42;
+  /// Capture-path implementation selectors. The defaults are the fast
+  /// path; the reference pair (Heap + Reference) is the retained pre-
+  /// optimization oracle — both must produce byte-identical bundles
+  /// (tests/test_capture_diff.cpp).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::Bucketed;
+  trace::CaptureMode capture = trace::CaptureMode::Fast;
+  /// Expected records per rank, used to pre-size the collector's arenas
+  /// (0 = derive a heuristic from `steps`). Purely a capacity hint.
+  std::size_t ops_per_rank_hint = 0;
 };
 
 class Harness {

@@ -36,6 +36,20 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
   // Adopt the bundle's intern table: record FileIds are store FileIds.
   log.paths = bundle.paths;
   log.files.resize(log.paths.size());
+  // Column hints from the fast capture path: pre-size each file's access
+  // column so the grouping below appends without regrowth. The hints
+  // count every record touching the file (opens/commits included), so
+  // they are a slight overestimate of the data-op count — fine for
+  // reserve.
+  if (!bundle.file_op_counts.empty()) {
+    const std::size_t n =
+        std::min(bundle.file_op_counts.size(), log.files.size());
+    for (std::size_t id = 0; id < n; ++id) {
+      if (bundle.file_op_counts[id] > 0) {
+        log.files[id].accesses.reserve(bundle.file_op_counts[id]);
+      }
+    }
+  }
   std::map<std::pair<Rank, int>, FdState> fds;
   std::vector<Offset> sizes(log.paths.size(), 0);  // up-to-date size per file
 

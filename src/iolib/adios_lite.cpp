@@ -37,7 +37,7 @@ void AdiosLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.func = func;
   rec.count = count;
   rec.file = file;
-  ctx_.collector->emit(std::move(rec));
+  ctx_.collector->emit(rec);
 }
 
 sim::Task<AdiosFile*> AdiosLite::open(Rank r, const std::string& name,

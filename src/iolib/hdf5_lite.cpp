@@ -62,7 +62,7 @@ void Hdf5Lite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.func = func;
   rec.count = count;
   rec.file = file;
-  ctx_.collector->emit(std::move(rec));
+  ctx_.collector->emit(rec);
 }
 
 Rank Hdf5Lite::metadata_owner(const H5File& f, std::uint64_t object_index) const {

@@ -47,7 +47,7 @@ void MpiIo::emit(Rank r, trace::Func f, SimTime t0, Offset off,
   rec.offset = off;
   rec.count = count;
   rec.file = file;
-  ctx_.collector->emit(std::move(rec));
+  ctx_.collector->emit(rec);
 }
 
 sim::Task<MpiFile*> MpiIo::open(Rank r, const std::string& path, int flags,

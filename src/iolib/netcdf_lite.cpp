@@ -36,7 +36,7 @@ void NetCdfLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.func = func;
   rec.count = count;
   rec.file = file;
-  ctx_.collector->emit(std::move(rec));
+  ctx_.collector->emit(rec);
 }
 
 sim::Task<NcFile*> NetCdfLite::create(Rank r, const std::string& path) {

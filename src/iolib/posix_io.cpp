@@ -71,7 +71,7 @@ void PosixIo::emit(Rank r, trace::Func f, SimTime t0, SimTime t1, int fd,
   rec.count = count;
   rec.flags = flags;
   rec.file = file;
-  ctx_.collector->emit(std::move(rec));
+  ctx_.collector->emit(rec);
 }
 
 FileId PosixIo::file_of(Rank r, int fd) const {

@@ -29,7 +29,7 @@ void SiloLite::emit(Rank r, trace::Func func, SimTime t0, std::uint64_t count,
   rec.func = func;
   rec.count = count;
   rec.file = file;
-  ctx_.collector->emit(std::move(rec));
+  ctx_.collector->emit(rec);
 }
 
 sim::Task<void> SiloLite::write_group_file(Rank r, const std::string& path,

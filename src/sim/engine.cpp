@@ -1,12 +1,38 @@
 #include "pfsem/sim/engine.hpp"
 
+#include <bit>
+
 #include "pfsem/util/error.hpp"
 
 namespace pfsem::sim {
 
 void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
   require(t >= now_, "cannot schedule an event in the simulated past");
-  queue_.push(Event{t, next_seq_++, h});
+  const std::uint64_t seq = next_seq_++;
+  if (kind_ == SchedulerKind::Heap || t - now_ >= kRingWindow) {
+    queue_.push(Event{t, seq, h});
+    return;
+  }
+  const auto slot = static_cast<std::size_t>(t & (kRingWindow - 1));
+  Bucket& b = ring_[slot];
+  if (b.empty()) {
+    b.time = t;
+    b.head = 0;
+    b.entries.clear();  // keeps capacity from earlier occupancies
+    ring_mask_ |= std::uint64_t{1} << slot;
+  }
+  // Injectivity of [now, now+W) -> slots guarantees one time per bucket.
+  b.entries.emplace_back(seq, h);
+}
+
+Engine::Bucket* Engine::ring_front() {
+  if (ring_mask_ == 0) return nullptr;
+  // Rotate the occupancy mask so now's slot is bit 0; the count of trailing
+  // zeros is then the distance to the earliest occupied bucket, because
+  // every pending ring time lives in [now, now + kRingWindow).
+  const auto base = static_cast<unsigned>(now_ & (kRingWindow - 1));
+  const int d = std::countr_zero(std::rotr(ring_mask_, base));
+  return &ring_[(base + static_cast<unsigned>(d)) & (kRingWindow - 1)];
 }
 
 Engine::Detached Engine::run_root(Task<void> task, int label) {
@@ -34,12 +60,42 @@ void Engine::spawn(Task<void> task, int label) {
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+  while (ring_mask_ != 0 || !queue_.empty()) {
+    Bucket* b = ring_front();
+    // A same-time burst appends to the bucket being drained, so the (time,
+    // seq) winner may sit in either tier; compare front against heap top.
+    bool use_ring = b != nullptr;
+    if (b != nullptr && !queue_.empty()) {
+      const Event& top = queue_.top();
+      use_ring = b->time != top.time ? b->time < top.time
+                                     : b->entries[b->head].first < top.seq;
+    }
+    std::coroutine_handle<> h;
+    if (use_ring) {
+      now_ = b->time;
+      h = b->entries[b->head++].second;
+      if (b->empty()) {
+        b->head = 0;
+        b->entries.clear();
+        ring_mask_ &=
+            ~(std::uint64_t{1} << static_cast<std::size_t>(
+                  b - ring_.data()));
+      } else if (b->head >= 4096 && b->head * 2 >= b->entries.size()) {
+        // Long same-time bursts push while we pop; drop the consumed
+        // prefix once it dominates so the bucket stays memory-bounded.
+        b->entries.erase(b->entries.begin(),
+                         b->entries.begin() +
+                             static_cast<std::ptrdiff_t>(b->head));
+        b->head = 0;
+      }
+    } else {
+      const Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.time;
+      h = ev.handle;
+    }
     ++dispatched_;
-    ev.handle.resume();
+    h.resume();
     if (first_error_) break;
   }
   if (first_error_) {

@@ -6,7 +6,20 @@
 // traces. Rank programs are coroutines spawned as root tasks; they advance
 // simulated time only through `co_await engine.delay(d)` (directly or via
 // the I/O-cost models layered above).
+//
+// Two scheduler implementations share that contract (SchedulerKind):
+//
+//  - Bucketed (default): a near-time ring of FIFO buckets covering
+//    [now, now + kRingWindow) plus a fallback heap for far-future wakeups.
+//    The overwhelmingly common case — `delay(0)` fairness round-trips and
+//    short I/O-model delays — costs an O(1) bucket append/pop instead of
+//    an O(log n) heap operation on the full pending-event set.
+//  - Heap: the original single std::priority_queue. Retained as the
+//    debug/differential oracle (mirrors detect_overlaps_scan): firing
+//    sequences must be identical event-for-event between the two kinds,
+//    which tests/test_sim_determinism.cpp enforces over random schedules.
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
@@ -35,14 +48,21 @@ class TaskKilled : public std::exception {
   int label_;
 };
 
+/// Which event-queue implementation an Engine runs on (see file comment).
+enum class SchedulerKind : std::uint8_t { Bucketed, Heap };
+
 class Engine {
  public:
-  Engine() = default;
+  explicit Engine(SchedulerKind scheduler = SchedulerKind::Bucketed)
+      : kind_(scheduler) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time (global, skew-free).
   [[nodiscard]] SimTime now() const { return now_; }
+
+  /// The scheduler implementation this engine runs on.
+  [[nodiscard]] SchedulerKind scheduler() const { return kind_; }
 
   /// Schedule a coroutine to resume at absolute time `t` (>= now).
   void schedule(SimTime t, std::coroutine_handle<> h);
@@ -95,6 +115,21 @@ class Engine {
     }
   };
 
+  /// Near-time ring width. Must be a power of two. Times in
+  /// [now, now + kRingWindow) map injectively onto ring slots, so one slot
+  /// never holds two distinct firing times at once.
+  static constexpr SimTime kRingWindow = 64;
+
+  /// One FIFO bucket = all pending events at a single absolute time.
+  /// Entries are appended in schedule() call order, which equals global
+  /// seq order, so front-to-back pop order IS (time, seq) order.
+  struct Bucket {
+    SimTime time = 0;  ///< absolute firing time; valid while non-empty
+    std::size_t head = 0;
+    std::vector<std::pair<std::uint64_t, std::coroutine_handle<>>> entries;
+    [[nodiscard]] bool empty() const { return head == entries.size(); }
+  };
+
   // Fire-and-forget wrapper that owns a root Task for its whole run.
   struct Detached {
     struct promise_type {
@@ -107,6 +142,17 @@ class Engine {
   };
   Detached run_root(Task<void> task, int label);
 
+  /// Earliest-time non-empty ring bucket, or nullptr when the ring is
+  /// empty. All ring events lie in [now, now + kRingWindow), so the
+  /// occupancy bitmask rotated to now's slot finds it in O(1).
+  [[nodiscard]] Bucket* ring_front();
+
+  SchedulerKind kind_;
+  std::array<Bucket, static_cast<std::size_t>(kRingWindow)> ring_;
+  /// Bit i set iff ring_[i] is non-empty; kRingWindow is 64 so the whole
+  /// ring's occupancy fits one word.
+  std::uint64_t ring_mask_ = 0;
+  /// Far-future events (Bucketed) or every event (Heap oracle).
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

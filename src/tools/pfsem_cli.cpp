@@ -20,6 +20,10 @@
 //   --retries N      I/O retries per op after the first attempt (default 0)
 //   --threads N      analysis threads (default 0 = all hardware threads;
 //                    output is byte-identical for every N)
+//   --capture MODE   capture path: "fast" (bucketed scheduler + per-rank
+//                    emission arenas, default) or "reference" (the
+//                    retained pre-optimization heap scheduler + global
+//                    emitter; bundles are byte-identical either way)
 
 #include <cstring>
 #include <fstream>
@@ -55,6 +59,7 @@ struct Options {
   std::uint64_t fault_seed = 1;
   int retries = 0;  // retries per op after the first attempt
   int threads = 0;  // analysis threads (0 = all hardware threads)
+  bool capture_reference = false;  // run the retained reference capture path
   // Filled by obtain() when the run executed under fault injection.
   bool ran_faults = false;
   fault::FaultStats fault_stats;
@@ -71,7 +76,8 @@ int usage() {
                "  pfsem advise <config|trace.trc> [options]\n"
                "  pfsem tune <config|trace.trc> [options]\n"
                "  pfsem remedy <config|trace.trc> [--strict] [options]\n"
-               "common options: --threads N (0 = all cores)\n";
+               "common options: --threads N (0 = all cores), "
+               "--capture fast|reference\n";
   return 2;
 }
 
@@ -92,6 +98,11 @@ Options parse_options(int argc, char** argv, int first) {
     else if (a == "--fault-seed") opt.fault_seed = std::stoull(next());
     else if (a == "--retries") opt.retries = std::stoi(next());
     else if (a == "--threads") opt.threads = std::stoi(next());
+    else if (a == "--capture") {
+      const std::string mode = next();
+      if (mode == "reference") opt.capture_reference = true;
+      else if (mode != "fast") throw Error("--capture wants fast|reference");
+    }
     else throw Error("unknown option " + a);
   }
   return opt;
@@ -104,6 +115,10 @@ trace::TraceBundle obtain(const std::string& what, Options& opt) {
     cfg.nranks = opt.ranks;
     cfg.ranks_per_node = std::max(1, opt.ranks / 8);
     cfg.seed = opt.seed;
+    if (opt.capture_reference) {
+      cfg.scheduler = sim::SchedulerKind::Heap;
+      cfg.capture = trace::CaptureMode::Reference;
+    }
     auto clocks = opt.skew > 0
                       ? sim::make_skewed_clocks(opt.ranks, opt.skew, 100.0, opt.seed)
                       : std::vector<sim::ClockModel>{};

@@ -1,0 +1,64 @@
+#include "pfsem/trace/collector.hpp"
+
+#include <utility>
+
+namespace pfsem::trace {
+
+void Collector::reserve(int nranks, std::size_t per_rank_hint) {
+  require(nranks == bundle_.nranks,
+          "reserve(): rank count does not match this collector");
+  if (mode_ == CaptureMode::Reference) {
+    // The retired emitter had no per-rank structure; best it can do is
+    // pre-size the one global vector.
+    bundle_.records.reserve(static_cast<std::size_t>(nranks) * per_rank_hint);
+    return;
+  }
+  for (auto& a : arenas_) {
+    a.records.reserve(per_rank_hint);
+    a.seqs.reserve(per_rank_hint);
+  }
+}
+
+void Collector::flush() {
+  if (mode_ == CaptureMode::Reference) return;
+  std::size_t pending = 0;
+  for (const auto& a : arenas_) pending += a.records.size();
+  if (pending == 0) return;
+
+  // Deterministic merge on the global emission sequence number. Seqs are
+  // handed out consecutively (one per emit, starting at 0) and every
+  // earlier seq was consumed by a previous flush, so the pending seqs are
+  // exactly [records.size(), records.size() + pending) — a permutation.
+  // That turns the k-way merge into a comparison-free scatter: each record
+  // lands at index `seq`, which is precisely the position the reference
+  // single-emitter path would have appended it at.
+  bundle_.records.resize(bundle_.records.size() + pending);
+  for (auto& a : arenas_) {
+    for (std::size_t j = 0; j < a.records.size(); ++j) {
+      bundle_.records[a.seqs[j]] = std::move(a.records[j]);
+    }
+    a.records.clear();
+    a.seqs.clear();
+  }
+}
+
+const TraceBundle& Collector::bundle() {
+  flush();
+  return bundle_;
+}
+
+TraceBundle Collector::take() {
+  flush();
+  if (mode_ == CaptureMode::Fast) {
+    // Attach the per-file column hints, sized to the full path table
+    // (paths interned but never attached to a record get a zero hint).
+    file_counts_.resize(bundle_.paths.size(), 0);
+    bundle_.file_op_counts = std::move(file_counts_);
+    file_counts_ = {};
+  }
+  next_emit_seq_ = 0;
+  total_records_ = 0;
+  return std::exchange(bundle_, TraceBundle{});
+}
+
+}  // namespace pfsem::trace

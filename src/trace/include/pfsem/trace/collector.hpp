@@ -5,6 +5,20 @@
 // that is all a real tracer ever sees. Matched communication events are
 // appended to the embedded CommLog by pfsem::mpi through the same clock
 // conversion.
+//
+// Two capture paths share one output contract (CaptureMode):
+//
+//  - Fast (default): each rank appends into its own arena (one copy,
+//    converted in place, capacity pre-reserved via reserve()); the global
+//    record order is recovered at flush time by a deterministic k-way
+//    merge on the per-emit global sequence number, which IS emission
+//    order, so the resulting bundle is byte-identical to the reference
+//    path. Per-FileId record counts are tallied during capture and handed
+//    to the bundle as column hints (TraceBundle::file_op_counts) so
+//    TraceStore construction can pre-size its per-file columns.
+//  - Reference: the retired single-growing-vector emitter (copy, convert,
+//    move-append), retained as the differential oracle and the perf
+//    baseline for bench_perf_scaling's capture-path floor.
 
 #include <utility>
 #include <vector>
@@ -15,18 +29,33 @@
 
 namespace pfsem::trace {
 
+/// Which emission path a Collector runs on (see file comment).
+enum class CaptureMode : std::uint8_t { Fast, Reference };
+
 class Collector {
  public:
   /// `clocks` may be empty (perfect clocks) or one ClockModel per rank.
-  explicit Collector(int nranks, std::vector<sim::ClockModel> clocks = {})
-      : clocks_(std::move(clocks)) {
+  explicit Collector(int nranks, std::vector<sim::ClockModel> clocks = {},
+                     CaptureMode mode = CaptureMode::Fast)
+      : clocks_(std::move(clocks)), mode_(mode) {
     require(nranks > 0, "need at least one rank");
     require(clocks_.empty() || std::ssize(clocks_) == nranks,
             "clock vector must match rank count");
     bundle_.nranks = nranks;
+    if (mode_ == CaptureMode::Fast) {
+      arenas_.resize(static_cast<std::size_t>(nranks));
+    }
   }
 
   [[nodiscard]] int nranks() const { return bundle_.nranks; }
+
+  /// The emission path this collector runs on.
+  [[nodiscard]] CaptureMode mode() const { return mode_; }
+
+  /// Capacity hint from the run harness: expect about `per_rank_hint`
+  /// records from each of `nranks` ranks. Purely an optimization — the
+  /// arenas grow past the hint freely.
+  void reserve(int nranks, std::size_t per_rank_hint);
 
   /// Local timestamp rank `r` would record for global time `t`.
   [[nodiscard]] SimTime local_time(Rank r, SimTime t) const {
@@ -46,12 +75,29 @@ class Collector {
   }
 
   /// Append a record whose tstart/tend are in *global* time; they are
-  /// converted to the emitting rank's local clock here.
-  void emit(Record r) {
+  /// converted to the emitting rank's local clock in place — the record
+  /// is copied exactly once, straight into its rank's arena.
+  void emit(const Record& r) {
     require(r.rank >= 0 && r.rank < bundle_.nranks, "record rank out of range");
-    r.tstart = local_time(r.rank, r.tstart);
-    r.tend = local_time(r.rank, r.tend);
-    bundle_.records.push_back(std::move(r));
+    ++total_records_;
+    if (mode_ == CaptureMode::Reference) {
+      // Retired path, kept verbatim as the perf baseline: copy into a
+      // local, convert, then move-append to the single global vector.
+      Record tmp = r;
+      tmp.tstart = local_time(tmp.rank, tmp.tstart);
+      tmp.tend = local_time(tmp.rank, tmp.tend);
+      bundle_.records.push_back(std::move(tmp));
+      return;
+    }
+    if (r.file != kNoFile) {
+      if (r.file >= file_counts_.size()) file_counts_.resize(r.file + 1, 0);
+      ++file_counts_[r.file];
+    }
+    RankArena& a = arenas_[static_cast<std::size_t>(r.rank)];
+    a.seqs.push_back(next_emit_seq_++);
+    Record& dst = a.records.emplace_back(r);
+    dst.tstart = local_time(dst.rank, dst.tstart);
+    dst.tend = local_time(dst.rank, dst.tend);
   }
 
   /// Record a matched point-to-point event (times given in global time).
@@ -72,18 +118,38 @@ class Collector {
     bundle_.comm.collectives.push_back(std::move(e));
   }
 
-  /// Number of records captured so far.
-  [[nodiscard]] std::size_t size() const { return bundle_.records.size(); }
+  /// Number of records captured so far (arenas included).
+  [[nodiscard]] std::size_t size() const { return total_records_; }
 
-  /// Finish capture and take the bundle.
-  [[nodiscard]] TraceBundle take() { return std::exchange(bundle_, TraceBundle{}); }
+  /// Finish capture and take the bundle (arenas merged, column hints
+  /// attached). The collector is empty afterwards.
+  [[nodiscard]] TraceBundle take();
 
-  /// Read-only view while capture is ongoing.
-  [[nodiscard]] const TraceBundle& bundle() const { return bundle_; }
+  /// View of the bundle while capture is ongoing. Flushes the per-rank
+  /// arenas into the canonical global record order first, so the view is
+  /// always complete; capture may continue afterwards (later emits carry
+  /// later sequence numbers, so order stays canonical).
+  [[nodiscard]] const TraceBundle& bundle();
 
  private:
+  /// One rank's append arena: records in that rank's emission order, with
+  /// the global emission sequence number alongside (the k-way merge key).
+  struct RankArena {
+    std::vector<Record> records;
+    std::vector<std::uint64_t> seqs;
+  };
+
+  /// Drain every arena into bundle_.records in global emission order.
+  void flush();
+
   TraceBundle bundle_;
   std::vector<sim::ClockModel> clocks_;
+  std::vector<RankArena> arenas_;
+  /// Records per FileId seen so far (Fast mode): the column hints.
+  std::vector<std::uint32_t> file_counts_;
+  std::uint64_t next_emit_seq_ = 0;
+  std::size_t total_records_ = 0;
+  CaptureMode mode_;
 };
 
 }  // namespace pfsem::trace

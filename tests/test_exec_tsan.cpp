@@ -9,9 +9,11 @@
 #include <cstdio>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "pfsem/exec/pool.hpp"
+#include "pfsem/trace/collector.hpp"
 
 int main() {
   using pfsem::exec::ThreadPool;
@@ -46,6 +48,39 @@ int main() {
     if (hits.load() != 1'000) {
       std::fprintf(stderr, "pool broken after exception: %d\n", hits.load());
       return 1;
+    }
+
+    // Concurrent per-shard capture: each pool task owns an independent
+    // Collector, drives the arena emission path (reserve, emit, flush-on-
+    // take), and publishes its bundle into its own slot. Any hidden shared
+    // state in the collector internals would trip TSan here.
+    constexpr std::size_t kShards = 16;
+    std::vector<pfsem::trace::TraceBundle> bundles(kShards);
+    pool.parallel_for(kShards, [&](std::size_t shard) {
+      pfsem::trace::Collector collector(4);
+      collector.reserve(4, 256);
+      const auto file =
+          collector.intern("/tsan/shard." + std::to_string(shard));
+      for (int i = 0; i < 1'000; ++i) {
+        pfsem::trace::Record rec;
+        rec.tstart = i;
+        rec.tend = i + 1;
+        rec.rank = static_cast<pfsem::Rank>(i % 4);
+        rec.func = pfsem::trace::Func::pwrite;
+        rec.offset = static_cast<pfsem::Offset>(i) * 64;
+        rec.count = 64;
+        rec.ret = 64;
+        rec.file = file;
+        collector.emit(rec);
+      }
+      bundles[shard] = collector.take();
+    });
+    for (std::size_t shard = 0; shard < kShards; ++shard) {
+      if (bundles[shard].records.size() != 1'000 ||
+          bundles[shard].file_op_counts.size() != 1) {
+        std::fprintf(stderr, "bad shard bundle %zu\n", shard);
+        return 1;
+      }
     }
   }
   std::puts("tsan exercise passed");

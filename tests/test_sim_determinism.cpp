@@ -1,0 +1,194 @@
+// Differential tests for the two-tier bucketed scheduler against the
+// retained heap oracle (sim::SchedulerKind::Heap): over seeded random
+// schedules — delay(0) fairness bursts, near-window delays, far-future
+// wakeups straddling the ring boundary, and TaskKilled unwinding in the
+// middle of a same-time bucket — both scheduler kinds must produce the
+// exact same firing sequence, event for event. This pins the engine's
+// determinism contract: events fire in (time, insertion-seq) order no
+// matter which tier holds them.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "pfsem/sim/engine.hpp"
+#include "pfsem/sim/wait_queue.hpp"
+#include "pfsem/util/error.hpp"
+#include "pfsem/util/rng.hpp"
+
+namespace pfsem::sim {
+namespace {
+
+/// One firing observation: (task id, simulated time).
+using Firing = std::pair<int, SimTime>;
+
+/// Drive `ntasks` coroutines through `rounds` delays drawn from a seeded
+/// distribution that is deliberately delay(0)-heavy with a tail straddling
+/// the ring window (0 .. well past kRingWindow=64), recording every
+/// resumption.
+std::vector<Firing> random_schedule(SchedulerKind kind, std::uint64_t seed,
+                                    int ntasks, int rounds) {
+  Engine e(kind);
+  std::vector<Firing> firings;
+  auto proc = [](Engine* eng, int id, std::uint64_t task_seed, int n,
+                 std::vector<Firing>* out) -> Task<void> {
+    Rng rng(task_seed);
+    for (int i = 0; i < n; ++i) {
+      SimDuration d = 0;
+      const auto roll = rng.below(100);
+      if (roll >= 70 && roll < 85) {
+        d = static_cast<SimDuration>(1 + rng.below(63));  // inside the ring
+      } else if (roll >= 85) {
+        d = static_cast<SimDuration>(64 + rng.below(500));  // far heap tier
+      }
+      co_await eng->delay(d);
+      out->emplace_back(id, eng->now());
+    }
+  };
+  for (int id = 0; id < ntasks; ++id) {
+    e.spawn(proc(&e, id, seed * 1000003 + static_cast<std::uint64_t>(id),
+                 rounds, &firings));
+  }
+  e.run();
+  return firings;
+}
+
+TEST(SchedulerDiff, RandomSchedulesFireIdenticallyAcrossKinds) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto bucketed =
+        random_schedule(SchedulerKind::Bucketed, seed, 24, 40);
+    const auto heap = random_schedule(SchedulerKind::Heap, seed, 24, 40);
+    ASSERT_EQ(bucketed, heap) << "seed=" << seed;
+  }
+}
+
+TEST(SchedulerDiff, SameTimeEventsFireInInsertionOrder) {
+  // The fairness contract behind delay(0): at one timestamp, coroutines
+  // resume in the order they suspended — round-robin, insertion stable —
+  // under both scheduler kinds.
+  for (const auto kind : {SchedulerKind::Bucketed, SchedulerKind::Heap}) {
+    Engine e(kind);
+    std::vector<int> order;
+    auto proc = [](Engine* eng, int id, std::vector<int>* out) -> Task<void> {
+      for (int round = 0; round < 3; ++round) {
+        co_await eng->delay(0);
+        out->push_back(id + round * 100);
+      }
+    };
+    for (int id = 0; id < 8; ++id) e.spawn(proc(&e, id, &order));
+    e.run();
+    std::vector<int> want;
+    for (int round = 0; round < 3; ++round) {
+      for (int id = 0; id < 8; ++id) want.push_back(id + round * 100);
+    }
+    EXPECT_EQ(order, want) << "kind=" << static_cast<int>(kind);
+    EXPECT_EQ(e.now(), 0);
+  }
+}
+
+TEST(SchedulerDiff, TaskKilledMidBucketUnwindsIdentically) {
+  // One task of a same-time cohort dies via TaskKilled partway through a
+  // delay(0) burst; the survivors' firing order, the killed count, and
+  // the final dispatch tally must match across scheduler kinds.
+  auto run_kind = [](SchedulerKind kind) {
+    Engine e(kind);
+    std::vector<Firing> firings;
+    auto proc = [](Engine* eng, int id, std::vector<Firing>* out) -> Task<void> {
+      for (int i = 0; i < 6; ++i) {
+        co_await eng->delay(0);
+        if (id == 3 && i == 2) throw TaskKilled(id);
+        out->emplace_back(id, eng->now());
+      }
+      co_await eng->delay(10);
+      out->emplace_back(id + 1000, eng->now());
+    };
+    for (int id = 0; id < 8; ++id) e.spawn(proc(&e, id, &firings), id);
+    e.run();
+    return std::tuple{firings, e.killed_roots(), e.events_dispatched()};
+  };
+  const auto bucketed = run_kind(SchedulerKind::Bucketed);
+  const auto heap = run_kind(SchedulerKind::Heap);
+  EXPECT_EQ(std::get<0>(bucketed), std::get<0>(heap));
+  EXPECT_EQ(std::get<1>(bucketed), 1);
+  EXPECT_EQ(std::get<1>(heap), 1);
+  EXPECT_EQ(std::get<2>(bucketed), std::get<2>(heap));
+}
+
+TEST(SchedulerDiff, RingBoundaryDelaysInterleaveWithHeapTier) {
+  // Delays of exactly window-1 / window / window+1 ns land in different
+  // tiers of the bucketed scheduler but must still fire in strict
+  // (time, seq) order, identical to the heap oracle.
+  auto run_kind = [](SchedulerKind kind) {
+    Engine e(kind);
+    std::vector<Firing> firings;
+    auto proc = [](Engine* eng, int id, SimDuration d,
+                   std::vector<Firing>* out) -> Task<void> {
+      co_await eng->delay(d);
+      out->emplace_back(id, eng->now());
+      co_await eng->delay(d);
+      out->emplace_back(id + 100, eng->now());
+    };
+    int id = 0;
+    for (const SimDuration d : {63, 64, 65, 0, 1, 127, 128, 2, 63, 64}) {
+      e.spawn(proc(&e, id++, d, &firings));
+    }
+    e.run();
+    return firings;
+  };
+  EXPECT_EQ(run_kind(SchedulerKind::Bucketed), run_kind(SchedulerKind::Heap));
+}
+
+TEST(SchedulerDiff, WaitQueueWakesPreserveFifoUnderBucketing) {
+  // WaitQueue::wake_all reschedules at the current time — straight into
+  // the current bucket — and must keep FIFO park order.
+  Engine e;
+  ASSERT_EQ(e.scheduler(), SchedulerKind::Bucketed);
+  WaitQueue wq(e);
+  std::vector<int> order;
+  auto waiter = [](WaitQueue* q, int id, std::vector<int>* out) -> Task<void> {
+    co_await q->wait();
+    out->push_back(id);
+  };
+  auto waker = [](Engine* eng, WaitQueue* q) -> Task<void> {
+    co_await eng->delay(500);
+    q->wake_all();
+  };
+  for (int id = 0; id < 6; ++id) e.spawn(waiter(&wq, id, &order));
+  e.spawn(waker(&e, &wq));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(e.now(), 500);
+}
+
+TEST(SchedulerDiff, PastSchedulingRejectedInBothKinds) {
+  for (const auto kind : {SchedulerKind::Bucketed, SchedulerKind::Heap}) {
+    Engine e(kind);
+    auto proc = [](Engine* eng) -> Task<void> { co_await eng->delay(100); };
+    e.spawn(proc(&e));
+    e.run();
+    EXPECT_EQ(e.now(), 100);
+    EXPECT_THROW(e.schedule(50, std::noop_coroutine()), Error);
+  }
+}
+
+TEST(SchedulerDiff, LongSameTimeBurstStaysOrderedAndBounded) {
+  // Thousands of delay(0) round-trips at one timestamp exercise the
+  // bucket's consumed-prefix compaction; order must stay exact.
+  Engine e;
+  std::vector<int> order;
+  auto proc = [](Engine* eng, int id, std::vector<int>* out) -> Task<void> {
+    for (int i = 0; i < 400; ++i) co_await eng->delay(0);
+    out->push_back(id);
+  };
+  for (int id = 0; id < 64; ++id) e.spawn(proc(&e, id, &order));
+  e.run();
+  std::vector<int> want;
+  for (int id = 0; id < 64; ++id) want.push_back(id);
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.events_dispatched(), 64u * 401u);
+}
+
+}  // namespace
+}  // namespace pfsem::sim
