@@ -309,7 +309,8 @@ RunToReportPoint run_to_report(const apps::AppInfo& info, int ranks,
   return pt;
 }
 
-int run(bool check, const std::string& out_path, const std::string& sha) {
+int run(bool check, const std::string& out_path, const std::string& sha,
+        const std::string& timestamp, const std::string& host) {
   const int cores = exec::hardware_threads();
   const std::size_t nfiles = check ? 32 : 128;
   const std::size_t per_file = check ? 2'000 : 20'000;
@@ -470,6 +471,8 @@ int run(bool check, const std::string& out_path, const std::string& sha) {
   }
   os << "{\n"
      << "  \"git_sha\": \"" << sha << "\",\n"
+     << "  \"timestamp\": \"" << timestamp << "\",\n"
+     << "  \"host\": \"" << host << "\",\n"
      << "  \"hardware_threads\": " << cores << ",\n"
      << "  \"conflict_scaling\": {\n"
      << "    \"files\": " << nfiles << ",\n"
@@ -532,6 +535,8 @@ int main(int argc, char** argv) {
   bool check = false;
   std::string out = "BENCH_perf.json";
   std::string sha = "unknown";
+  std::string timestamp = "unknown";
+  std::string host = "unknown";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
@@ -539,11 +544,15 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--sha") == 0 && i + 1 < argc) {
       sha = argv[++i];
+    } else if (std::strcmp(argv[i], "--timestamp") == 0 && i + 1 < argc) {
+      timestamp = argv[++i];
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
     } else {
-      std::cerr
-          << "usage: bench_perf_scaling [--check] [--out FILE] [--sha SHA]\n";
+      std::cerr << "usage: bench_perf_scaling [--check] [--out FILE] "
+                   "[--sha SHA] [--timestamp TS] [--host NAME]\n";
       return 2;
     }
   }
-  return run(check, out, sha);
+  return run(check, out, sha, timestamp, host);
 }

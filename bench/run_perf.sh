@@ -7,7 +7,12 @@ sha=$(git -C "$root" rev-parse --short HEAD 2> /dev/null || echo unknown)
 if ! git -C "$root" diff --quiet HEAD 2> /dev/null; then
   sha="$sha-dirty"
 fi
+# Stamp the run so numbers from different machines/dates are never
+# confused: ISO-8601 UTC timestamp plus the hostname.
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+host=$(hostname 2> /dev/null || uname -n 2> /dev/null || echo unknown)
 cmake -S "$root" -B "$root/build" > /dev/null
 cmake --build "$root/build" --target bench_perf_scaling -j > /dev/null
 exec "$root/build/bench/bench_perf_scaling" \
-  --out "$root/BENCH_perf.json" --sha "$sha"
+  --out "$root/BENCH_perf.json" --sha "$sha" \
+  --timestamp "$stamp" --host "$host"

@@ -23,6 +23,10 @@ Harness::Harness(AppConfig cfg, std::unique_ptr<vfs::FileSystem> fs,
                               .ranks_per_node = cfg.ranks_per_node,
                               .seed = cfg.seed}) {
   require(fs_ != nullptr, "Harness needs a file system backend");
+  if (cfg_.obs != nullptr) {
+    engine_.set_observer(cfg_.obs);
+    collector_.set_observer(cfg_.obs);
+  }
   // Pre-size the collector's per-rank arenas. The registered app models
   // emit a few records per rank per time step (open/write/close plus
   // library bookkeeping), so steps-derived guesses land within a small
@@ -58,6 +62,7 @@ void Harness::set_faults(const fault::FaultPlan& plan,
                          std::uint64_t fault_seed) {
   injector_ =
       std::make_unique<fault::Injector>(plan, fault_seed, cfg_.ranks_per_node);
+  injector_->set_observer(cfg_.obs);
   fs_->set_fault_injector(injector_.get());
   world_.set_fault_injector(injector_.get());
 }
@@ -83,7 +88,7 @@ void Harness::run(const std::function<sim::Task<void>(Rank)>& program) {
       engine_.spawn(
           [](Harness* h, Rank rank, SimTime t) -> sim::Task<void> {
             co_await h->engine_.delay(t);
-            h->injector_->mark_crashed(rank);
+            h->injector_->mark_crashed(rank, h->engine_.now());
             h->injector_->note_lost_writes(
                 h->fs_->crash_rank(rank, h->engine_.now()));
           }(this, victim, when));
@@ -96,11 +101,42 @@ void Harness::run(const std::function<sim::Task<void>(Rank)>& program) {
           // The paper's methodology: a startup barrier defines time zero and
           // bounds clock skew before any traced I/O happens.
           co_await h->world().barrier(rank);
-          co_await body(rank);
+          obs::Run* const orun = h->cfg_.obs;
+          const SimTime t0 = h->engine_.now();
+          // Span even for crashed ranks: note the kill, emit, rethrow
+          // (the emit is synchronous, so no co_await inside the catch).
+          try {
+            co_await body(rank);
+          } catch (const sim::TaskKilled&) {
+            if (orun != nullptr && orun->tracing()) {
+              orun->tracer.complete({obs::kPidHarness, rank}, "rank-program",
+                                    t0, h->engine_.now() - t0, {"killed", 1});
+            }
+            throw;
+          }
+          if (orun != nullptr && orun->tracing()) {
+            orun->tracer.complete({obs::kPidHarness, rank}, "rank-program", t0,
+                                  h->engine_.now() - t0);
+          }
         }(this, r, program),
         /*label=*/r);
   }
   engine_.run();
+  if (cfg_.obs != nullptr && concrete_pfs_ != nullptr) {
+    // Publish the backend's introspection counters as gauges. Stable:
+    // lock/OST traffic is a pure function of the simulated op sequence.
+    auto& m = cfg_.obs->metrics;
+    const vfs::LockStats& ls = concrete_pfs_->lock_stats();
+    m.set(cfg_.obs->vfs_lock_requests, static_cast<std::int64_t>(ls.requests));
+    m.set(cfg_.obs->vfs_lock_revocations,
+          static_cast<std::int64_t>(ls.revocations));
+    m.set(cfg_.obs->vfs_meta_ops, static_cast<std::int64_t>(ls.meta_ops));
+    std::uint64_t ost_bytes = 0;
+    for (const std::uint64_t b : concrete_pfs_->ost_stats().bytes) {
+      ost_bytes += b;
+    }
+    m.set(cfg_.obs->vfs_ost_bytes, static_cast<std::int64_t>(ost_bytes));
+  }
 }
 
 core::DegradedSummary degraded_summary(const fault::FaultStats& stats) {

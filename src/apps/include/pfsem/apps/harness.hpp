@@ -41,6 +41,11 @@ struct AppConfig {
   /// Expected records per rank, used to pre-size the collector's arenas
   /// (0 = derive a heuristic from `steps`). Purely a capacity hint.
   std::size_t ops_per_rank_hint = 0;
+  /// Observability context (nullptr = off, the default). Non-owning: the
+  /// driver (CLI, test) owns the Run; the harness wires it into the
+  /// engine, collector, injector, and every façade built from ctx(),
+  /// and publishes the vfs.* gauges after run().
+  obs::Run* obs = nullptr;
 };
 
 class Harness {
@@ -61,7 +66,7 @@ class Harness {
   [[nodiscard]] trace::Collector& collector() { return collector_; }
   [[nodiscard]] iolib::IoContext ctx() {
     return {&engine_, &world_, fs_.get(), &collector_, injector_.get(),
-            retry_};
+            retry_, cfg_.obs};
   }
 
   /// Arm fault injection for this run (call before run()): builds the

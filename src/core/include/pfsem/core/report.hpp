@@ -78,6 +78,10 @@ struct RunReport {
   SimTime span = 0;
   /// Present when the run executed under fault injection.
   std::optional<DegradedSummary> degraded;
+  /// Present when the run executed with observability on: the
+  /// pre-rendered obs::summary() block (plain text so core stays
+  /// independent of pfsem::obs, mirroring DegradedSummary).
+  std::optional<std::string> obs_summary;
 };
 
 /// Build the full report for one run. `threads` fans the record-counter

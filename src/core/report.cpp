@@ -195,6 +195,10 @@ void print_report(const RunReport& rep, std::ostream& os) {
     os << "\n";
     print_degraded(*rep.degraded, os);
   }
+
+  if (rep.obs_summary) {
+    os << "\n" << *rep.obs_summary;
+  }
 }
 
 void print_degraded(const DegradedSummary& d, std::ostream& os) {

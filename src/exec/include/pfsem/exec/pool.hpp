@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "pfsem/obs/obs.hpp"
+
 namespace pfsem::exec {
 
 /// Detected hardware parallelism; never less than 1.
@@ -40,6 +42,16 @@ namespace pfsem::exec {
 /// requested <= 0 means "auto" (hardware_threads()), anything else is
 /// taken literally (clamped to a sane ceiling).
 [[nodiscard]] int resolve_threads(int requested);
+
+/// Attach an observability context to every pool created afterwards
+/// (nullptr = off, the default). A global because pools are transient —
+/// constructed deep inside the analysis functions — and the pool.*
+/// metrics are declared Volatile anyway. Workers tally into private
+/// per-participant slots; only the calling thread touches the registry
+/// and tracer (after the job's completion barrier), so the non-thread-
+/// safe registry contract holds. Pool spans carry wall-clock timestamps
+/// relative to the Run's creation, keyed by worker index, not thread id.
+void set_observer(obs::Run* run);
 
 class ThreadPool {
  public:
@@ -70,11 +82,26 @@ class ThreadPool {
     std::deque<Range> q;
   };
 
+  /// Per-participant observability tallies for the current job. Each
+  /// participant writes only its own slot while the job runs; the
+  /// calling thread merges every slot into the registry after the
+  /// completion barrier (the release-sequence through outstanding_'s
+  /// RMW chain makes the slots visible).
+  struct WorkerStats {
+    std::uint64_t items = 0;
+    std::uint64_t steals = 0;
+    std::int64_t t0 = 0;  ///< wall ns at first executed range
+    std::int64_t t1 = 0;  ///< wall ns after last executed range
+    bool active = false;
+  };
+
   bool pop_local(std::size_t who, Range& out);
   bool steal(std::size_t thief, Range& out);
   void worker_loop(std::size_t who);
   /// Pop/steal/execute until the current job has no outstanding items.
   void participate(std::size_t who);
+  /// Merge the per-participant tallies into the observer (caller only).
+  void publish_stats();
 
   int nthreads_;
   std::vector<std::unique_ptr<TaskDeque>> deques_;  // slot 0 = caller
@@ -90,6 +117,11 @@ class ThreadPool {
   std::atomic<bool> failed_{false};
   std::mutex error_m_;
   std::exception_ptr error_;
+
+  /// Observability of the current job (nullptr = off). Published to the
+  /// workers through the same edges as job_ (see parallel_for).
+  obs::Run* job_obs_ = nullptr;
+  std::vector<WorkerStats> stats_;  // one slot per participant
 };
 
 /// Convenience: run body(0..n-1) on a transient pool of `threads`

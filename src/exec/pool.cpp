@@ -4,6 +4,36 @@
 
 namespace pfsem::exec {
 
+namespace {
+
+/// Process-wide observer for transient pools (see set_observer).
+std::atomic<obs::Run*> g_observer{nullptr};
+
+[[nodiscard]] obs::Run* observer() {
+  return g_observer.load(std::memory_order_acquire);
+}
+
+/// Account a sequential (inline) execution of n items.
+void note_sequential(obs::Run* obs, std::size_t n, std::int64_t t0,
+                     std::int64_t t1) {
+  if (obs == nullptr || n == 0) return;
+  obs->metrics.add(obs->pool_jobs);
+  obs->metrics.add(obs->pool_items, n);
+  if (obs->metrics.value(obs->pool_workers) < 1) {
+    obs->metrics.set(obs->pool_workers, 1);
+  }
+  if (obs->tracing()) {
+    obs->tracer.complete({obs::kPidPool, 0}, "busy", t0, t1 - t0,
+                         {"items", static_cast<std::int64_t>(n)});
+  }
+}
+
+}  // namespace
+
+void set_observer(obs::Run* run) {
+  g_observer.store(run, std::memory_order_release);
+}
+
 int hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
@@ -15,6 +45,7 @@ int resolve_threads(int requested) {
 }
 
 ThreadPool::ThreadPool(int threads) : nthreads_(resolve_threads(threads)) {
+  stats_.resize(static_cast<std::size_t>(nthreads_));
   deques_.reserve(static_cast<std::size_t>(nthreads_));
   for (int i = 0; i < nthreads_; ++i) {
     deques_.push_back(std::make_unique<TaskDeque>());
@@ -72,9 +103,22 @@ void ThreadPool::worker_loop(std::size_t who) {
 void ThreadPool::participate(std::size_t who) {
   Range r;
   while (outstanding_.load(std::memory_order_acquire) > 0) {
-    if (!pop_local(who, r) && !steal(who, r)) {
-      std::this_thread::yield();
-      continue;
+    bool stole = false;
+    if (!pop_local(who, r)) {
+      if (!steal(who, r)) {
+        std::this_thread::yield();
+        continue;
+      }
+      stole = true;
+    }
+    WorkerStats* s = job_obs_ != nullptr ? &stats_[who] : nullptr;
+    if (s != nullptr) {
+      s->items += r.end - r.begin;
+      if (stole) ++s->steals;
+      if (job_obs_->tracing() && !s->active) {
+        s->active = true;
+        s->t0 = job_obs_->wall_ns();
+      }
     }
     // After a failure the remaining ranges are drained unexecuted so
     // parallel_for can return (and rethrow) promptly.
@@ -91,19 +135,50 @@ void ThreadPool::participate(std::size_t who) {
         }
       }
     }
+    if (s != nullptr && s->active) s->t1 = job_obs_->wall_ns();
     outstanding_.fetch_sub(r.end - r.begin, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::publish_stats() {
+  obs::Run* obs = job_obs_;
+  job_obs_ = nullptr;
+  if (obs == nullptr) return;
+  obs->metrics.add(obs->pool_jobs);
+  if (obs->metrics.value(obs->pool_workers) < nthreads_) {
+    obs->metrics.set(obs->pool_workers, nthreads_);
+  }
+  for (std::size_t w = 0; w < stats_.size(); ++w) {
+    const WorkerStats& s = stats_[w];
+    if (s.items == 0) continue;
+    obs->metrics.add(obs->pool_items, s.items);
+    obs->metrics.add(obs->pool_steals, s.steals);
+    if (obs->tracing() && s.active) {
+      obs->tracer.complete({obs::kPidPool, static_cast<std::int32_t>(w)},
+                           "busy", s.t0, s.t1 - s.t0,
+                           {"items", static_cast<std::int64_t>(s.items)},
+                           {"steals", static_cast<std::int64_t>(s.steals)});
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  obs::Run* obs = observer();
   if (nthreads_ == 1 || n == 1) {
+    const std::int64_t t0 = obs != nullptr && obs->tracing() ? obs->wall_ns() : 0;
     for (std::size_t i = 0; i < n; ++i) body(i);
+    note_sequential(obs, n,
+                    t0, obs != nullptr && obs->tracing() ? obs->wall_ns() : 0);
     return;
   }
   failed_.store(false, std::memory_order_relaxed);
   error_ = nullptr;
+  job_obs_ = obs;
+  if (obs != nullptr) {
+    for (auto& s : stats_) s = {};
+  }
 
   // Publication order matters: a worker that never went back to sleep
   // after the previous job (it was spinning in participate when that
@@ -135,6 +210,7 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   job_cv_.notify_all();
   participate(0);  // the caller is participant 0
+  publish_stats();
   if (failed_.load(std::memory_order_acquire)) {
     std::lock_guard lk(error_m_);
     if (error_) std::rethrow_exception(error_);
@@ -145,7 +221,11 @@ void parallel_for(int threads, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
   const int resolved = resolve_threads(threads);
   if (resolved == 1 || n <= 1) {
+    obs::Run* obs = observer();
+    const std::int64_t t0 = obs != nullptr && obs->tracing() ? obs->wall_ns() : 0;
     for (std::size_t i = 0; i < n; ++i) body(i);
+    note_sequential(obs, n,
+                    t0, obs != nullptr && obs->tracing() ? obs->wall_ns() : 0);
     return;
   }
   ThreadPool pool(resolved);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "pfsem/fault/plan.hpp"
+#include "pfsem/obs/obs.hpp"
 #include "pfsem/util/rng.hpp"
 
 namespace pfsem::fault {
@@ -77,16 +78,36 @@ class Injector {
       int nranks) const;
 
   /// Fail-stop bookkeeping: mark_crashed is called by the crash scheduler
-  /// at the crash instant; crashed() is checked by iolib/mpi/harness at
-  /// every operation boundary of the victim.
-  void mark_crashed(Rank r);
+  /// at the crash instant (`now` feeds the observability event stream);
+  /// crashed() is checked by iolib/mpi/harness at every operation
+  /// boundary of the victim.
+  void mark_crashed(Rank r, SimTime now = 0);
   [[nodiscard]] bool crashed(Rank r) const { return crashed_.contains(r); }
 
+  /// Attach an observability context (nullptr = off, the default). The
+  /// injector then mirrors FaultStats into the fault.* metrics and, when
+  /// tracing is on, emits one instant event per injected fault (kind,
+  /// rank, simulated time) so degraded-mode reports can cite exactly
+  /// what fired.
+  void set_observer(obs::Run* run) { obs_ = run; }
+
   // --- degraded-mode accounting hooks ---------------------------------
-  void note_retry() { ++stats_.retries; }
-  void note_giveup() { ++stats_.giveups; }
-  void note_slowed_transfer() { ++stats_.slowed_transfers; }
-  void note_delayed_write() { ++stats_.delayed_writes; }
+  void note_retry() {
+    ++stats_.retries;
+    if (obs_ != nullptr) obs_->metrics.add(obs_->io_retries);
+  }
+  void note_giveup() {
+    ++stats_.giveups;
+    if (obs_ != nullptr) obs_->metrics.add(obs_->io_giveups);
+  }
+  void note_slowed_transfer() {
+    ++stats_.slowed_transfers;
+    if (obs_ != nullptr) obs_->metrics.add(obs_->fault_slowdowns);
+  }
+  void note_delayed_write() {
+    ++stats_.delayed_writes;
+    if (obs_ != nullptr) obs_->metrics.add(obs_->fault_delays);
+  }
   void note_lost_writes(const std::vector<std::uint64_t>& versions);
 
  private:
@@ -95,6 +116,8 @@ class Injector {
   int ranks_per_node_;
   std::set<Rank> crashed_;
   FaultStats stats_;
+  /// Observability (off = nullptr; one branch per accounting site).
+  obs::Run* obs_ = nullptr;
 };
 
 }  // namespace pfsem::fault

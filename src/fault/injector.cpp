@@ -12,8 +12,6 @@ Injector::Injector(FaultPlan plan, std::uint64_t seed, int ranks_per_node)
 }
 
 int Injector::on_op(OpClass c, Rank r, SimTime now) {
-  (void)r;
-  (void)now;
   for (const auto& t : plan_.transients) {
     if (!t.applies(c) || t.probability <= 0.0) continue;
     // One draw per matching rule, in plan order, keeps the stream
@@ -22,6 +20,18 @@ int Injector::on_op(OpClass c, Rank r, SimTime now) {
     ++stats_.transient_faults;
     if (t.err == kEio) ++stats_.faults_eio;
     if (t.err == kEnospc) ++stats_.faults_enospc;
+    if (obs_ != nullptr) {
+      obs_->metrics.add(obs_->fault_transient);
+      if (t.err == kEio) obs_->metrics.add(obs_->fault_eio);
+      if (t.err == kEnospc) obs_->metrics.add(obs_->fault_enospc);
+      if (obs_->tracing()) {
+        obs_->tracer.instant({obs::kPidFault, r},
+                             t.err == kEio      ? "transient EIO"
+                             : t.err == kEnospc ? "transient ENOSPC"
+                                                : "transient fault",
+                             now, {"errno", t.err});
+      }
+    }
     return t.err;
   }
   return 0;
@@ -47,15 +57,19 @@ SimDuration Injector::visibility_extra(SimTime t_write) const {
 }
 
 SimDuration Injector::mpi_delay(Rank from, Rank to, SimTime now) {
-  (void)from;
-  (void)to;
-  (void)now;
   SimDuration delay = 0;
   for (const auto& d : plan_.drops) {
     if (d.probability <= 0.0) continue;
     if (!rng_.chance(d.probability)) continue;
     ++stats_.mpi_drops;
     delay += d.retransmit;
+    if (obs_ != nullptr) {
+      obs_->metrics.add(obs_->fault_mpi_drops);
+      if (obs_->tracing()) {
+        obs_->tracer.instant({obs::kPidFault, from}, "mpi drop", now,
+                             {"to", to}, {"retransmit_ns", d.retransmit});
+      }
+    }
   }
   return delay;
 }
@@ -84,14 +98,24 @@ std::vector<std::pair<Rank, SimTime>> Injector::crash_schedule(
   return out;
 }
 
-void Injector::mark_crashed(Rank r) {
-  if (crashed_.insert(r).second) stats_.crashed_ranks.push_back(r);
+void Injector::mark_crashed(Rank r, SimTime now) {
+  if (!crashed_.insert(r).second) return;
+  stats_.crashed_ranks.push_back(r);
+  if (obs_ != nullptr) {
+    obs_->metrics.add(obs_->fault_crashes);
+    if (obs_->tracing()) {
+      obs_->tracer.instant({obs::kPidFault, r}, "crash", now);
+    }
+  }
 }
 
 void Injector::note_lost_writes(const std::vector<std::uint64_t>& versions) {
   stats_.writes_lost += versions.size();
   stats_.lost_versions.insert(stats_.lost_versions.end(), versions.begin(),
                               versions.end());
+  if (obs_ != nullptr) {
+    obs_->metrics.add(obs_->fault_writes_lost, versions.size());
+  }
 }
 
 }  // namespace pfsem::fault

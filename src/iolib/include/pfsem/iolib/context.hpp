@@ -6,6 +6,7 @@
 
 #include "pfsem/iolib/retry.hpp"
 #include "pfsem/mpi/world.hpp"
+#include "pfsem/obs/obs.hpp"
 #include "pfsem/sim/engine.hpp"
 #include "pfsem/trace/collector.hpp"
 #include "pfsem/vfs/filesystem.hpp"
@@ -25,6 +26,9 @@ struct IoContext {
   /// Optional fault wiring (nullptr / default policy = fault-free run).
   fault::Injector* injector = nullptr;
   RetryPolicy retry = {};
+  /// Optional observability context (nullptr = off): retry loops emit
+  /// retry / give-up instants on the owning rank's I/O track.
+  obs::Run* obs = nullptr;
 
   [[nodiscard]] bool valid() const {
     return engine && world && pfs && collector;

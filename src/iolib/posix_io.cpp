@@ -33,11 +33,20 @@ auto with_retry(IoContext& ctx, Rank r, Op op)
     if (!ctx.retry.is_retryable(res.err) ||
         attempt >= ctx.retry.max_attempts) {
       if (ctx.injector != nullptr) ctx.injector->note_giveup();
+      if (ctx.obs != nullptr && ctx.obs->tracing()) {
+        ctx.obs->tracer.instant({obs::kPidIo, r}, "retry give-up",
+                                ctx.engine->now(), {"errno", res.err},
+                                {"attempts", attempt});
+      }
       throw Error("simulated I/O failed permanently after " +
                   std::to_string(attempt) +
                   " attempt(s): " + fault::errno_name(res.err));
     }
     if (ctx.injector != nullptr) ctx.injector->note_retry();
+    if (ctx.obs != nullptr && ctx.obs->tracing()) {
+      ctx.obs->tracer.instant({obs::kPidIo, r}, "retry", ctx.engine->now(),
+                              {"errno", res.err}, {"attempt", attempt});
+    }
     co_await ctx.engine->delay(ctx.retry.backoff_for(attempt));
     check_crash(ctx, r);
     res = op(ctx.engine->now());

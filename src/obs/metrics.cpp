@@ -1,0 +1,110 @@
+#include "pfsem/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace pfsem::obs {
+
+Counter MetricsRegistry::counter(const std::string& name, Stability st) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    require(it->second.first == Kind::Counter,
+            "obs metric '" + name + "' already registered with another kind");
+    require(counters_[it->second.second].stability == st,
+            "obs metric '" + name + "' already registered with another stability");
+    return Counter{it->second.second};
+  }
+  const auto slot = static_cast<std::uint32_t>(counters_.size());
+  counters_.push_back({name, st, 0});
+  index_.emplace(name, std::make_pair(Kind::Counter, slot));
+  return Counter{slot};
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name, Stability st) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    require(it->second.first == Kind::Gauge,
+            "obs metric '" + name + "' already registered with another kind");
+    require(gauges_[it->second.second].stability == st,
+            "obs metric '" + name + "' already registered with another stability");
+    return Gauge{it->second.second};
+  }
+  const auto slot = static_cast<std::uint32_t>(gauges_.size());
+  gauges_.push_back({name, st, 0});
+  index_.emplace(name, std::make_pair(Kind::Gauge, slot));
+  return Gauge{slot};
+}
+
+Hist MetricsRegistry::histogram(const std::string& name, Stability st) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    require(it->second.first == Kind::Hist,
+            "obs metric '" + name + "' already registered with another kind");
+    require(hists_[it->second.second].stability == st,
+            "obs metric '" + name + "' already registered with another stability");
+    return Hist{it->second.second};
+  }
+  const auto slot = static_cast<std::uint32_t>(hists_.size());
+  hists_.emplace_back();
+  hists_.back().name = name;
+  hists_.back().stability = st;
+  index_.emplace(name, std::make_pair(Kind::Hist, slot));
+  return Hist{slot};
+}
+
+std::size_t MetricsRegistry::bucket_of(std::uint64_t v) {
+  // bit_width(0) == 0 and bit_width(2^(k-1)..2^k - 1) == k, so bit_width
+  // IS the bucket index; values >= 2^63 have bit_width 64, the overflow
+  // bucket.
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::string MetricsRegistry::bucket_label(std::size_t k) {
+  if (k == 0) return "0";
+  if (k == kHistBuckets - 1) return "[2^63,inf)";
+  auto pow2 = [](std::size_t e) {
+    return std::to_string(std::uint64_t{1} << e);
+  };
+  return "[" + pow2(k - 1) + "," + pow2(k) + ")";
+}
+
+void MetricsRegistry::dump(std::ostream& os, bool include_volatile) const {
+  auto render = [&](Stability want, std::vector<std::string>& lines) {
+    for (const auto& c : counters_) {
+      if (c.stability != want) continue;
+      lines.push_back("counter " + c.name + " " + std::to_string(c.value));
+    }
+    for (const auto& g : gauges_) {
+      if (g.stability != want) continue;
+      lines.push_back("gauge " + g.name + " " + std::to_string(g.value));
+    }
+    for (const auto& h : hists_) {
+      if (h.stability != want) continue;
+      std::string line = "hist " + h.name + " count=" + std::to_string(h.count) +
+                         " sum=" + std::to_string(h.sum);
+      for (std::size_t k = 0; k < kHistBuckets; ++k) {
+        if (h.buckets[k] == 0) continue;
+        line += " b" + std::to_string(k) + "=" + std::to_string(h.buckets[k]);
+      }
+      lines.push_back(std::move(line));
+    }
+    // Lines start with the metric kind; sorting by the full line still
+    // groups deterministically because names are unique.
+    std::sort(lines.begin(), lines.end());
+  };
+
+  os << "# pfsem obs metrics v1\n";
+  std::vector<std::string> stable;
+  render(Stability::Stable, stable);
+  for (const auto& l : stable) os << l << "\n";
+  if (!include_volatile) return;
+  std::vector<std::string> vol;
+  render(Stability::Volatile, vol);
+  if (vol.empty()) return;
+  os << "# volatile (implementation-dependent; excluded from determinism "
+        "diffs)\n";
+  for (const auto& l : vol) os << l << "\n";
+}
+
+}  // namespace pfsem::obs

@@ -1,0 +1,93 @@
+#include "pfsem/obs/tracer.hpp"
+
+#include <ostream>
+#include <set>
+#include <string>
+
+namespace pfsem::obs {
+
+namespace {
+
+const char* pid_name(std::int32_t pid) {
+  switch (pid) {
+    case kPidHarness: return "programs (per rank, sim time)";
+    case kPidSim: return "sim scheduler (sim time)";
+    case kPidIo: return "io (per rank, sim time)";
+    case kPidPool: return "analysis pool (wall time)";
+    case kPidFault: return "fault injector (sim time)";
+    default: return "pfsem";
+  }
+}
+
+std::string tid_name(std::int32_t pid, std::int32_t tid) {
+  switch (pid) {
+    case kPidSim: return tid == 0 ? "ring tier" : "heap tier";
+    case kPidPool: return "worker " + std::to_string(tid);
+    default: return "rank " + std::to_string(tid);
+  }
+}
+
+/// Nanoseconds -> the format's microseconds, printed as a fixed-point
+/// decimal (integer math only, so output bytes are deterministic).
+void write_us(std::ostream& os, std::int64_t ns) {
+  if (ns < 0) ns = 0;  // tracer never records negative times
+  os << ns / 1000 << '.';
+  const auto frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata first: name every (pid, tid) pair in use so Perfetto shows
+  // subsystem/lane labels instead of bare numbers.
+  std::set<std::int32_t> pids;
+  std::set<std::pair<std::int32_t, std::int32_t>> tracks;
+  for (const auto& e : events_) {
+    pids.insert(e.pid);
+    tracks.insert({e.pid, e.tid});
+  }
+  for (const auto pid : pids) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << pid_name(pid) << "\"}}";
+  }
+  for (const auto& [pid, tid] : tracks) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << tid_name(pid, tid)
+       << "\"}}";
+  }
+
+  for (const auto& e : events_) {
+    sep();
+    os << "{\"name\":\"" << e.name << "\",\"ph\":\"" << e.ph << "\",\"ts\":";
+    write_us(os, e.ts);
+    if (e.ph == 'X') {
+      os << ",\"dur\":";
+      write_us(os, e.dur);
+    } else if (e.ph == 'i') {
+      os << ",\"s\":\"t\"";  // instant scoped to its thread lane
+    }
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (e.a0.key != nullptr) {
+      os << ",\"args\":{\"" << e.a0.key << "\":" << e.a0.value;
+      if (e.a1.key != nullptr) os << ",\"" << e.a1.key << "\":" << e.a1.value;
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace pfsem::obs

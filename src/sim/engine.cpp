@@ -10,6 +10,7 @@ void Engine::schedule(SimTime t, std::coroutine_handle<> h) {
   require(t >= now_, "cannot schedule an event in the simulated past");
   const std::uint64_t seq = next_seq_++;
   if (kind_ == SchedulerKind::Heap || t - now_ >= kRingWindow) {
+    if (obs_ != nullptr) obs_->metrics.add(obs_->sim_heap_scheduled);
     queue_.push(Event{t, seq, h});
     return;
   }
@@ -47,6 +48,7 @@ Engine::Detached Engine::run_root(Task<void> task, int label) {
     // frames are destroyed by normal exception propagation); the run
     // itself is healthy and continues.
     ++killed_roots_;
+    if (obs_ != nullptr) obs_->metrics.add(obs_->sim_roots_killed);
   } catch (...) {
     if (!first_error_) first_error_ = std::current_exception();
   }
@@ -56,7 +58,34 @@ Engine::Detached Engine::run_root(Task<void> task, int label) {
 
 void Engine::spawn(Task<void> task, int label) {
   require(task.valid(), "spawn() needs a valid task");
+  if (obs_ != nullptr) obs_->metrics.add(obs_->sim_roots);
   run_root(std::move(task), label);
+}
+
+void Engine::note_dispatch(bool ring) {
+  obs_->metrics.add(obs_->sim_events);
+  obs_->metrics.add(ring ? obs_->sim_ring_pops : obs_->sim_heap_pops);
+  if (!obs_->tracing()) return;
+  // Aggregate consecutive same-tier dispatches into one span: tier
+  // switches are rare, so the span count stays far below the event
+  // count while Perfetto still shows which tier served which interval.
+  if (tier_run_.open && tier_run_.ring == ring) {
+    tier_run_.last = now_;
+    ++tier_run_.events;
+    return;
+  }
+  flush_tier_span();
+  tier_run_ = {true, ring, now_, now_, 1};
+}
+
+void Engine::flush_tier_span() {
+  if (!tier_run_.open) return;
+  obs_->tracer.complete(
+      {obs::kPidSim, tier_run_.ring ? 0 : 1},
+      tier_run_.ring ? "ring" : "heap", tier_run_.t0,
+      tier_run_.last - tier_run_.t0,
+      {"events", static_cast<std::int64_t>(tier_run_.events)});
+  tier_run_.open = false;
 }
 
 void Engine::run() {
@@ -83,6 +112,13 @@ void Engine::run() {
       } else if (b->head >= 4096 && b->head * 2 >= b->entries.size()) {
         // Long same-time bursts push while we pop; drop the consumed
         // prefix once it dominates so the bucket stays memory-bounded.
+        if (obs_ != nullptr) {
+          obs_->metrics.add(obs_->sim_compactions);
+          if (obs_->tracing()) {
+            obs_->tracer.instant({obs::kPidSim, 0}, "compaction", now_,
+                                 {"dropped", static_cast<std::int64_t>(b->head)});
+          }
+        }
         b->entries.erase(b->entries.begin(),
                          b->entries.begin() +
                              static_cast<std::ptrdiff_t>(b->head));
@@ -95,8 +131,13 @@ void Engine::run() {
       h = ev.handle;
     }
     ++dispatched_;
+    if (obs_ != nullptr) note_dispatch(use_ring);
     h.resume();
     if (first_error_) break;
+  }
+  if (obs_ != nullptr) {
+    flush_tier_span();
+    obs_->metrics.set(obs_->sim_end_time, now_);
   }
   if (first_error_) {
     // Drain remaining events without running them is not possible for

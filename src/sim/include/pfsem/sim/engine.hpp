@@ -27,6 +27,7 @@
 #include <set>
 #include <vector>
 
+#include "pfsem/obs/obs.hpp"
 #include "pfsem/sim/task.hpp"
 #include "pfsem/util/types.hpp"
 
@@ -105,6 +106,12 @@ class Engine {
   /// Total events dispatched so far (for tests/benches).
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// Attach an observability context (nullptr = off, the default). The
+  /// engine then counts dispatches per tier and, when tracing is on,
+  /// emits one aggregated span per consecutive same-tier dispatch burst
+  /// plus compaction instants. Call before run().
+  void set_observer(obs::Run* run) { obs_ = run; }
+
  private:
   struct Event {
     SimTime time;
@@ -147,6 +154,12 @@ class Engine {
   /// occupancy bitmask rotated to now's slot finds it in O(1).
   [[nodiscard]] Bucket* ring_front();
 
+  /// Observability slow path: tier counters + burst-span aggregation for
+  /// one dispatch (called only when obs_ != nullptr).
+  void note_dispatch(bool ring);
+  /// Close the open tier span, if any (end of run / tier switch).
+  void flush_tier_span();
+
   SchedulerKind kind_;
   std::array<Bucket, static_cast<std::size_t>(kRingWindow)> ring_;
   /// Bit i set iff ring_[i] is non-empty; kRingWindow is 64 so the whole
@@ -161,6 +174,19 @@ class Engine {
   int killed_roots_ = 0;
   std::multiset<int> live_labels_;
   std::exception_ptr first_error_;
+
+  /// Observability (off = nullptr; one branch per hot-path site).
+  obs::Run* obs_ = nullptr;
+  /// Open aggregated tier span: consecutive dispatches from one tier
+  /// collapse into a single traced span (see note_dispatch).
+  struct TierRun {
+    bool open = false;
+    bool ring = false;
+    SimTime t0 = 0;
+    SimTime last = 0;
+    std::uint64_t events = 0;
+  };
+  TierRun tier_run_;
 };
 
 }  // namespace pfsem::sim

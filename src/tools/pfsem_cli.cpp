@@ -18,18 +18,27 @@
 //                    "eio:p=0.01,ops=write;crash:rank=3,t=2ms"
 //   --fault-seed S   fault-injection seed (default 1)
 //   --retries N      I/O retries per op after the first attempt (default 0)
-//   --threads N      analysis threads (default 0 = all hardware threads;
-//                    output is byte-identical for every N)
+//   --threads N      analysis threads (N >= 1; omit for all hardware
+//                    threads; output is byte-identical for every N)
 //   --capture MODE   capture path: "fast" (bucketed scheduler + per-rank
 //                    emission arenas, default) or "reference" (the
 //                    retained pre-optimization heap scheduler + global
 //                    emitter; bundles are byte-identical either way)
+//   --obs            observability: print the run's metrics summary
+//   --obs-out FILE   write the stable metrics dump (byte-identical across
+//                    --threads and --capture; see docs/observability.md)
+//   --obs-trace FILE write a Chrome trace_event JSON timeline (load in
+//                    ui.perfetto.dev or chrome://tracing)
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+
+#include "pfsem/exec/pool.hpp"
+#include "pfsem/obs/obs.hpp"
 
 #include "pfsem/apps/registry.hpp"
 #include "pfsem/core/advisor.hpp"
@@ -60,6 +69,13 @@ struct Options {
   int retries = 0;  // retries per op after the first attempt
   int threads = 0;  // analysis threads (0 = all hardware threads)
   bool capture_reference = false;  // run the retained reference capture path
+  // Observability (--obs / --obs-out / --obs-trace).
+  bool obs_print = false;     // print the metrics summary
+  std::string obs_out;        // stable metrics dump destination ("" = none)
+  std::string obs_trace;      // Chrome trace JSON destination ("" = none)
+  // The run context outlives simulation AND analysis (shared so Options
+  // stays copyable; obs::Run itself is not).
+  std::shared_ptr<obs::Run> obs_run;
   // Filled by obtain() when the run executed under fault injection.
   bool ran_faults = false;
   fault::FaultStats fault_stats;
@@ -76,8 +92,9 @@ int usage() {
                "  pfsem advise <config|trace.trc> [options]\n"
                "  pfsem tune <config|trace.trc> [options]\n"
                "  pfsem remedy <config|trace.trc> [--strict] [options]\n"
-               "common options: --threads N (0 = all cores), "
-               "--capture fast|reference\n";
+               "common options: --threads N (N >= 1; omit for all cores),\n"
+               "                --capture fast|reference, --obs,\n"
+               "                --obs-out <file>, --obs-trace <file>\n";
   return 2;
 }
 
@@ -97,15 +114,52 @@ Options parse_options(int argc, char** argv, int first) {
     else if (a == "--faults") opt.faults = next();
     else if (a == "--fault-seed") opt.fault_seed = std::stoull(next());
     else if (a == "--retries") opt.retries = std::stoi(next());
-    else if (a == "--threads") opt.threads = std::stoi(next());
+    else if (a == "--threads") {
+      opt.threads = std::stoi(next());
+      if (opt.threads <= 0) {
+        throw Error("--threads wants a positive thread count, got " +
+                    std::to_string(opt.threads) +
+                    " (omit the flag to use all hardware threads)");
+      }
+    }
     else if (a == "--capture") {
       const std::string mode = next();
       if (mode == "reference") opt.capture_reference = true;
       else if (mode != "fast") throw Error("--capture wants fast|reference");
     }
+    else if (a == "--obs") opt.obs_print = true;
+    else if (a == "--obs-out") opt.obs_out = next();
+    else if (a == "--obs-trace") opt.obs_trace = next();
     else throw Error("unknown option " + a);
   }
+  if (opt.obs_print || !opt.obs_out.empty() || !opt.obs_trace.empty()) {
+    opt.obs_run = std::make_shared<obs::Run>(
+        obs::Config{.metrics = true, .tracing = !opt.obs_trace.empty()});
+    // The analysis pool is wired globally (pools are transient objects
+    // created inside the analysis functions).
+    exec::set_observer(opt.obs_run.get());
+  }
   return opt;
+}
+
+/// Write the --obs-out / --obs-trace artifacts and print the summary.
+/// Call once per command, after all analysis is done.
+void finish_obs(const Options& opt) {
+  if (opt.obs_run == nullptr) return;
+  if (!opt.obs_out.empty()) {
+    std::ofstream os(opt.obs_out);
+    opt.obs_run->metrics.dump(os);
+    if (!os) throw Error("cannot write " + opt.obs_out);
+  }
+  if (!opt.obs_trace.empty()) {
+    std::ofstream os(opt.obs_trace);
+    opt.obs_run->tracer.write_chrome_json(os);
+    if (!os) throw Error("cannot write " + opt.obs_trace);
+  }
+  if (opt.obs_print) {
+    std::cout << "\n" << obs::summary(*opt.obs_run);
+  }
+  exec::set_observer(nullptr);
 }
 
 /// Obtain a trace either by simulating a named config or loading a file.
@@ -115,6 +169,7 @@ trace::TraceBundle obtain(const std::string& what, Options& opt) {
     cfg.nranks = opt.ranks;
     cfg.ranks_per_node = std::max(1, opt.ranks / 8);
     cfg.seed = opt.seed;
+    cfg.obs = opt.obs_run.get();
     if (opt.capture_reference) {
       cfg.scheduler = sim::SchedulerKind::Heap;
       cfg.capture = trace::CaptureMode::Reference;
@@ -225,6 +280,7 @@ int main(int argc, char** argv) {
         core::print_degraded(apps::degraded_summary(opt.fault_stats),
                              std::cout);
       }
+      finish_obs(opt);
       return 0;
     }
     if (cmd == "trace" && argc >= 4) {
@@ -243,11 +299,13 @@ int main(int argc, char** argv) {
         core::print_degraded(apps::degraded_summary(opt.fault_stats),
                              std::cout);
       }
+      finish_obs(opt);
       return 0;
     }
     if (cmd == "analyze" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
       print_report(obtain(argv[2], opt), opt.threads);
+      finish_obs(opt);
       return 0;
     }
     if (cmd == "report" && argc >= 3) {
@@ -261,7 +319,13 @@ int main(int argc, char** argv) {
       if (opt.ran_faults) {
         rep.degraded = apps::degraded_summary(opt.fault_stats);
       }
+      if (opt.obs_run != nullptr && opt.obs_print) {
+        // Rendered into the report body (instead of the trailing print).
+        rep.obs_summary = obs::summary(*opt.obs_run);
+        opt.obs_print = false;
+      }
       core::print_report(rep, std::cout);
+      finish_obs(opt);
       return 0;
     }
     if (cmd == "advise" && argc >= 3) {
@@ -274,12 +338,14 @@ int main(int argc, char** argv) {
       const auto advice = core::advise(report, &hb, opt.threads);
       std::cout << vfs::to_string(advice.weakest) << "\n" << advice.rationale
                 << "\n";
+      finish_obs(opt);
       return 0;
     }
     if (cmd == "tune" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
       const auto bundle = obtain(argv[2], opt);
       print_tuning(bundle, opt.threads);
+      finish_obs(opt);
       return 0;
     }
     if (cmd == "remedy" && argc >= 3) {
@@ -311,6 +377,7 @@ int main(int argc, char** argv) {
                   << " pair(s) have no insertion window (accesses adjacent "
                      "in time)\n";
       }
+      finish_obs(opt);
       return 0;
     }
     return usage();

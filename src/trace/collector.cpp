@@ -19,11 +19,54 @@ void Collector::reserve(int nranks, std::size_t per_rank_hint) {
   }
 }
 
+void Collector::note_obs(const Record& r) {
+  obs::MetricsRegistry& m = obs_->metrics;
+  m.add(obs_->trace_records);
+  m.add(obs_->io_ops);
+  switch (r.func) {
+    case Func::read:
+    case Func::pread:
+    case Func::fread:
+      m.add(obs_->io_reads);
+      m.add(obs_->io_read_bytes, r.count);
+      m.observe(obs_->io_read_size, r.count);
+      break;
+    case Func::write:
+    case Func::pwrite:
+    case Func::fwrite:
+      m.add(obs_->io_writes);
+      m.add(obs_->io_write_bytes, r.count);
+      m.observe(obs_->io_write_size, r.count);
+      break;
+    default:
+      if (is_metadata_func(r.func)) m.add(obs_->io_meta);
+      break;
+  }
+  if (obs_->tracing()) {
+    // to_string(Func) views a stringized literal, so .data() is a stable
+    // null-terminated name the tracer can keep by pointer.
+    obs_->tracer.complete(
+        {obs::kPidIo, r.rank}, to_string(r.func).data(), r.tstart,
+        r.tend - r.tstart, {"bytes", static_cast<std::int64_t>(r.count)},
+        {"file", r.file == kNoFile ? std::int64_t{-1}
+                                   : static_cast<std::int64_t>(r.file)});
+  }
+}
+
 void Collector::flush() {
   if (mode_ == CaptureMode::Reference) return;
   std::size_t pending = 0;
   for (const auto& a : arenas_) pending += a.records.size();
   if (pending == 0) return;
+  if (obs_ != nullptr) {
+    obs_->metrics.add(obs_->trace_flushes);
+    const auto bytes =
+        static_cast<std::int64_t>(pending * sizeof(Record) +
+                                  pending * sizeof(std::uint64_t));
+    if (bytes > obs_->metrics.value(obs_->trace_arena_bytes)) {
+      obs_->metrics.set(obs_->trace_arena_bytes, bytes);
+    }
+  }
 
   // Deterministic merge on the global emission sequence number. Seqs are
   // handed out consecutively (one per emit, starting at 0) and every
@@ -49,6 +92,10 @@ const TraceBundle& Collector::bundle() {
 
 TraceBundle Collector::take() {
   flush();
+  if (obs_ != nullptr) {
+    obs_->metrics.set(obs_->trace_files,
+                      static_cast<std::int64_t>(bundle_.paths.size()));
+  }
   if (mode_ == CaptureMode::Fast) {
     // Attach the per-file column hints, sized to the full path table
     // (paths interned but never attached to a record get a zero hint).

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "pfsem/obs/obs.hpp"
 #include "pfsem/sim/clock.hpp"
 #include "pfsem/trace/bundle.hpp"
 #include "pfsem/util/error.hpp"
@@ -80,6 +81,10 @@ class Collector {
   void emit(const Record& r) {
     require(r.rank >= 0 && r.rank < bundle_.nranks, "record rank out of range");
     ++total_records_;
+    // Observed before clock conversion: the record still carries global
+    // timestamps here, and emission order is identical in both capture
+    // modes, so everything derived in note_obs is capture-mode-stable.
+    if (obs_ != nullptr) note_obs(r);
     if (mode_ == CaptureMode::Reference) {
       // Retired path, kept verbatim as the perf baseline: copy into a
       // local, convert, then move-append to the single global vector.
@@ -102,6 +107,7 @@ class Collector {
 
   /// Record a matched point-to-point event (times given in global time).
   void emit_p2p(P2PEvent e) {
+    if (obs_ != nullptr) obs_->metrics.add(obs_->mpi_p2p);
     e.t_send_start = local_time(e.src, e.t_send_start);
     e.t_send_end = local_time(e.src, e.t_send_end);
     e.t_recv_start = local_time(e.dst, e.t_recv_start);
@@ -111,6 +117,7 @@ class Collector {
 
   /// Record a matched collective (arrival times given in global time).
   void emit_collective(CollectiveEvent e) {
+    if (obs_ != nullptr) obs_->metrics.add(obs_->mpi_collectives);
     for (auto& a : e.arrivals) {
       a.t_enter = local_time(a.rank, a.t_enter);
       a.t_exit = local_time(a.rank, a.t_exit);
@@ -131,6 +138,11 @@ class Collector {
   /// later sequence numbers, so order stays canonical).
   [[nodiscard]] const TraceBundle& bundle();
 
+  /// Attach an observability context (nullptr = off, the default). The
+  /// collector then feeds the io.*/mpi.*/trace.* metrics and, when
+  /// tracing is on, emits one per-rank span per captured record.
+  void set_observer(obs::Run* run) { obs_ = run; }
+
  private:
   /// One rank's append arena: records in that rank's emission order, with
   /// the global emission sequence number alongside (the k-way merge key).
@@ -142,6 +154,10 @@ class Collector {
   /// Drain every arena into bundle_.records in global emission order.
   void flush();
 
+  /// Observability slow path for one emitted record (global timestamps;
+  /// called only when obs_ != nullptr, before clock conversion).
+  void note_obs(const Record& r);
+
   TraceBundle bundle_;
   std::vector<sim::ClockModel> clocks_;
   std::vector<RankArena> arenas_;
@@ -150,6 +166,8 @@ class Collector {
   std::uint64_t next_emit_seq_ = 0;
   std::size_t total_records_ = 0;
   CaptureMode mode_;
+  /// Observability (off = nullptr; one branch per emit).
+  obs::Run* obs_ = nullptr;
 };
 
 }  // namespace pfsem::trace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "pfsem/exec/pool.hpp"
+#include "pfsem/obs/obs.hpp"
 #include "pfsem/trace/collector.hpp"
 
 int main() {
@@ -81,6 +82,30 @@ int main() {
         std::fprintf(stderr, "bad shard bundle %zu\n", shard);
         return 1;
       }
+    }
+
+    // Observer pattern: workers tally into per-participant stats slots
+    // while the caller merges them after the completion barrier — the
+    // release sequence through the outstanding-counter RMW chain is the
+    // only thing making the slots visible, so TSan must bless it here.
+    pfsem::obs::Run run(
+        pfsem::obs::Config{.metrics = true, .tracing = true});
+    pfsem::exec::set_observer(&run);
+    std::atomic<long> seen{0};
+    for (int round = 0; round < 10; ++round) {
+      pool.parallel_for(20'000, [&](std::size_t) {
+        seen.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pfsem::exec::set_observer(nullptr);
+    if (run.metrics.value(run.pool_jobs) != 10 ||
+        run.metrics.value(run.pool_items) != 200'000) {
+      std::fprintf(stderr, "observer lost work: jobs=%llu items=%llu\n",
+                   static_cast<unsigned long long>(
+                       run.metrics.value(run.pool_jobs)),
+                   static_cast<unsigned long long>(
+                       run.metrics.value(run.pool_items)));
+      return 1;
     }
   }
   std::puts("tsan exercise passed");
