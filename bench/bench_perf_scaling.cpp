@@ -22,6 +22,11 @@
 //                  two bundles must be byte-identical);
 //   run_to_report  a registered app (FLASH-fbs) driven end to end —
 //                  capture + full report — at ranks 64/256/1024.
+//   cluster_failover  a read-heavy app (LBANN) on the multi-server
+//                  PfsCluster, healthy vs one crashed MDS + one crashed
+//                  OST: wall throughput, simulated time-to-recover
+//                  (completion-time overhead of failover backoffs), and
+//                  the degraded-read count.
 
 #include <algorithm>
 #include <utility>
@@ -425,7 +430,61 @@ int run(bool check, const std::string& out_path, const std::string& sha,
     r2r.push_back(pt);
   }
 
+  // --- experiment 6: cluster failover — degraded vs healthy -------------
+  // The same workload on the multi-server backend, healthy and with one
+  // MDS plus one OST crashed early in the run. Time-to-recover shows up
+  // as the simulated completion-time overhead (failover backoff + holes);
+  // wall throughput shows the capture-side cost of the degraded path.
+  const auto* lbann = apps::find_app("LBANN");
+  if (lbann == nullptr) {
+    std::cerr << "FAIL: LBANN not in the registry\n";
+    return 1;
+  }
+  apps::AppConfig cl_cfg;
+  cl_cfg.nranks = check ? 64 : 256;
+  cl_cfg.ranks_per_node = cl_cfg.nranks / 8;
+  vfs::ClusterConfig cl_topo;
+  cl_topo.mds_count = 2;
+  cl_topo.ost_count = 4;
+  auto sim_end = [](const trace::TraceBundle& b) {
+    SimTime end = 0;
+    for (const auto& r : b.records) end = std::max(end, r.tend);
+    return end;
+  };
+  trace::TraceBundle cl_healthy;
+  const double cl_healthy_s = best_of(
+      reps, [&] { cl_healthy = apps::run_app_cluster(*lbann, cl_cfg, cl_topo); });
+  apps::FaultSetup cl_setup;
+  cl_setup.plan =
+      fault::FaultPlan::parse("crash_mds:id=0,t=1ms; crash_ost:id=1,t=1ms");
+  cl_setup.seed = 5;
+  fault::FaultStats cl_stats;
+  trace::TraceBundle cl_degraded;
+  const double cl_degraded_s = best_of(reps, [&] {
+    cl_degraded = apps::run_app_cluster(*lbann, cl_cfg, cl_topo, {}, &cl_setup,
+                                        &cl_stats);
+  });
+  const SimTime cl_recover =
+      sim_end(cl_degraded) - sim_end(cl_healthy);
+  std::cout << "cluster_failover LBANN ranks=" << cl_cfg.nranks
+            << "  healthy " << cl_healthy_s << " s   degraded "
+            << cl_degraded_s << " s   sim overhead " << cl_recover
+            << " ns   redirects " << cl_stats.failover_redirects
+            << "   degraded reads " << cl_stats.degraded_reads << "\n";
+
   if (check) {
+    if (cl_degraded.records.empty() || cl_stats.mds_failovers != 1 ||
+        cl_stats.failover_redirects < 1) {
+      std::cerr << "FAIL: cluster failover run must complete degraded with "
+                   "one standby promotion (got failovers="
+                << cl_stats.mds_failovers
+                << ", redirects=" << cl_stats.failover_redirects << ")\n";
+      return 1;
+    }
+    if (cl_stats.degraded_reads == 0) {
+      std::cerr << "FAIL: LBANN reads over the dead OST must be degraded\n";
+      return 1;
+    }
     // Parallel output already proven identical above. Speedup bounds:
     // the algorithmic sweep-vs-scan win holds on any machine; the
     // thread-scaling bound needs real cores to express itself.
@@ -523,6 +582,25 @@ int run(bool check, const std::string& out_path, const std::string& sha,
        << ", \"analysis_seconds\": " << pt.analysis_seconds << "}";
   }
   os << "]\n"
+     << "  },\n"
+     << "  \"cluster_failover\": {\n"
+     << "    \"app\": \"LBANN\",\n"
+     << "    \"ranks\": " << cl_cfg.nranks << ",\n"
+     << "    \"mds\": " << cl_topo.mds_count << ",\n"
+     << "    \"ost\": " << cl_topo.ost_count << ",\n"
+     << "    \"healthy_seconds\": " << cl_healthy_s << ",\n"
+     << "    \"degraded_seconds\": " << cl_degraded_s << ",\n"
+     << "    \"healthy_records_per_second\": "
+     << static_cast<double>(cl_healthy.records.size()) / cl_healthy_s << ",\n"
+     << "    \"degraded_records_per_second\": "
+     << static_cast<double>(cl_degraded.records.size()) / cl_degraded_s
+     << ",\n"
+     << "    \"healthy_sim_end_ns\": " << sim_end(cl_healthy) << ",\n"
+     << "    \"degraded_sim_end_ns\": " << sim_end(cl_degraded) << ",\n"
+     << "    \"recover_overhead_sim_ns\": " << cl_recover << ",\n"
+     << "    \"mds_failovers\": " << cl_stats.mds_failovers << ",\n"
+     << "    \"failover_redirects\": " << cl_stats.failover_redirects << ",\n"
+     << "    \"degraded_reads\": " << cl_stats.degraded_reads << "\n"
      << "  }\n"
      << "}\n";
   std::cout << "wrote " << out_path << "\n";

@@ -12,6 +12,13 @@ Harness::Harness(AppConfig cfg, vfs::PfsConfig pfs_cfg,
   concrete_pfs_ = static_cast<vfs::Pfs*>(fs_.get());
 }
 
+Harness::Harness(AppConfig cfg, vfs::ClusterConfig cluster_cfg,
+                 std::vector<sim::ClockModel> clocks)
+    : Harness(cfg, std::make_unique<vfs::PfsCluster>(cluster_cfg),
+              std::move(clocks)) {
+  concrete_cluster_ = static_cast<vfs::PfsCluster*>(fs_.get());
+}
+
 Harness::Harness(AppConfig cfg, std::unique_ptr<vfs::FileSystem> fs,
                  std::vector<sim::ClockModel> clocks)
     : cfg_(cfg),
@@ -48,6 +55,12 @@ vfs::Pfs& Harness::pfs() {
   return *concrete_pfs_;
 }
 
+vfs::PfsCluster& Harness::cluster() {
+  require(concrete_cluster_ != nullptr,
+          "cluster(): the backend is not a PfsCluster");
+  return *concrete_cluster_;
+}
+
 sim::Task<void> Harness::compute(Rank r, SimDuration base) {
   // Operation-boundary crash check: a crashed rank never starts another
   // time step (iolib and mpi enforce the same at their entry points).
@@ -60,6 +73,14 @@ sim::Task<void> Harness::compute(Rank r, SimDuration base) {
 
 void Harness::set_faults(const fault::FaultPlan& plan,
                          std::uint64_t fault_seed) {
+  // Server events need a matching multi-server topology; fail loudly at
+  // arm time rather than silently dropping an event mid-run.
+  if (concrete_cluster_ != nullptr) {
+    plan.validate_topology(concrete_cluster_->config().mds_count,
+                           concrete_cluster_->config().ost_count);
+  } else {
+    plan.validate_topology(0, 0);
+  }
   injector_ =
       std::make_unique<fault::Injector>(plan, fault_seed, cfg_.ranks_per_node);
   injector_->set_observer(cfg_.obs);
@@ -93,6 +114,18 @@ void Harness::run(const std::function<sim::Task<void>(Rank)>& program) {
                 h->fs_->crash_rank(rank, h->engine_.now()));
           }(this, victim, when));
     }
+    // One root per planned server crash/restart: fault domains flip state
+    // at their simulated instants, in deterministic DES order (the
+    // schedule is pre-sorted, and spawn order breaks time ties).
+    if (concrete_cluster_ != nullptr) {
+      for (const fault::ServerEvent& ev : injector_->server_schedule()) {
+        engine_.spawn(
+            [](Harness* h, fault::ServerEvent e) -> sim::Task<void> {
+              co_await h->engine_.delay(e.t);
+              h->concrete_cluster_->apply_server_event(e, h->engine_.now());
+            }(this, ev));
+      }
+    }
   }
   for (Rank r = 0; r < cfg_.nranks; ++r) {
     engine_.spawn(
@@ -122,20 +155,45 @@ void Harness::run(const std::function<sim::Task<void>(Rank)>& program) {
         /*label=*/r);
   }
   engine_.run();
-  if (cfg_.obs != nullptr && concrete_pfs_ != nullptr) {
+  if (cfg_.obs != nullptr &&
+      (concrete_pfs_ != nullptr || concrete_cluster_ != nullptr)) {
     // Publish the backend's introspection counters as gauges. Stable:
     // lock/OST traffic is a pure function of the simulated op sequence.
     auto& m = cfg_.obs->metrics;
-    const vfs::LockStats& ls = concrete_pfs_->lock_stats();
+    const vfs::LockStats& ls = concrete_pfs_ != nullptr
+                                   ? concrete_pfs_->lock_stats()
+                                   : concrete_cluster_->lock_stats();
+    const vfs::OstStats& os = concrete_pfs_ != nullptr
+                                  ? concrete_pfs_->ost_stats()
+                                  : concrete_cluster_->ost_stats();
     m.set(cfg_.obs->vfs_lock_requests, static_cast<std::int64_t>(ls.requests));
     m.set(cfg_.obs->vfs_lock_revocations,
           static_cast<std::int64_t>(ls.revocations));
     m.set(cfg_.obs->vfs_meta_ops, static_cast<std::int64_t>(ls.meta_ops));
     std::uint64_t ost_bytes = 0;
-    for (const std::uint64_t b : concrete_pfs_->ost_stats().bytes) {
-      ost_bytes += b;
-    }
+    for (const std::uint64_t b : os.bytes) ost_bytes += b;
     m.set(cfg_.obs->vfs_ost_bytes, static_cast<std::int64_t>(ost_bytes));
+    if (concrete_cluster_ != nullptr) {
+      // Per-server gauges, registered dynamically (topology is a run
+      // parameter, not part of the static catalogue). Stable: per-shard
+      // routing and striping are pure functions of the op sequence.
+      const auto& mds = concrete_cluster_->mds_states();
+      for (std::size_t i = 0; i < mds.size(); ++i) {
+        const std::string base = "vfs.mds" + std::to_string(i);
+        m.set(m.gauge(base + ".meta_ops"),
+              static_cast<std::int64_t>(mds[i].meta_ops));
+        m.set(m.gauge(base + ".failovers"),
+              static_cast<std::int64_t>(mds[i].failovers));
+        m.set(m.gauge(base + ".up"), mds[i].up ? 1 : 0);
+      }
+      for (std::size_t i = 0; i < os.bytes.size(); ++i) {
+        const std::string base = "vfs.ost" + std::to_string(i);
+        m.set(m.gauge(base + ".bytes"),
+              static_cast<std::int64_t>(os.bytes[i]));
+        m.set(m.gauge(base + ".up"),
+              concrete_cluster_->ost_states()[i].up ? 1 : 0);
+      }
+    }
   }
 }
 
@@ -152,6 +210,12 @@ core::DegradedSummary degraded_summary(const fault::FaultStats& stats) {
   d.writes_lost = stats.writes_lost;
   d.crashed_ranks.assign(stats.crashed_ranks.begin(),
                          stats.crashed_ranks.end());
+  d.server_crashes = stats.server_crashes;
+  d.server_restarts = stats.server_restarts;
+  d.mds_failovers = stats.mds_failovers;
+  d.failover_redirects = stats.failover_redirects;
+  d.degraded_reads = stats.degraded_reads;
+  d.crashed_servers = stats.crashed_servers;
   return d;
 }
 

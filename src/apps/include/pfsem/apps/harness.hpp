@@ -16,6 +16,7 @@
 #include "pfsem/sim/engine.hpp"
 #include "pfsem/trace/collector.hpp"
 #include "pfsem/util/rng.hpp"
+#include "pfsem/vfs/cluster.hpp"
 #include "pfsem/vfs/filesystem.hpp"
 #include "pfsem/vfs/pfs.hpp"
 
@@ -52,6 +53,10 @@ class Harness {
  public:
   explicit Harness(AppConfig cfg, vfs::PfsConfig pfs_cfg = {},
                    std::vector<sim::ClockModel> clocks = {});
+  /// Run against a multi-server PfsCluster backend (docs/topology.md);
+  /// enables server fault-domain events in the fault plan.
+  Harness(AppConfig cfg, vfs::ClusterConfig cluster_cfg,
+          std::vector<sim::ClockModel> clocks = {});
   /// Run against a custom file-system backend (e.g. vfs::BurstBufferPfs).
   Harness(AppConfig cfg, std::unique_ptr<vfs::FileSystem> fs,
           std::vector<sim::ClockModel> clocks = {});
@@ -63,6 +68,10 @@ class Harness {
   [[nodiscard]] vfs::FileSystem& fs() { return *fs_; }
   /// The default Pfs backend (throws if a custom backend was supplied).
   [[nodiscard]] vfs::Pfs& pfs();
+  /// The PfsCluster backend (throws unless built with a ClusterConfig).
+  [[nodiscard]] vfs::PfsCluster& cluster();
+  /// The PfsCluster backend, or nullptr when another backend is in use.
+  [[nodiscard]] vfs::PfsCluster* cluster_or_null() { return concrete_cluster_; }
   [[nodiscard]] trace::Collector& collector() { return collector_; }
   [[nodiscard]] iolib::IoContext ctx() {
     return {&engine_, &world_, fs_.get(), &collector_, injector_.get(),
@@ -107,6 +116,7 @@ class Harness {
   sim::Engine engine_;
   std::unique_ptr<vfs::FileSystem> fs_;
   vfs::Pfs* concrete_pfs_ = nullptr;  // set when the default backend is used
+  vfs::PfsCluster* concrete_cluster_ = nullptr;  // set for ClusterConfig runs
   mpi::World world_;
   std::vector<Rng> rank_rngs_;
   std::unique_ptr<fault::Injector> injector_;

@@ -64,4 +64,13 @@ struct FaultSetup {
                                          const FaultSetup* faults = nullptr,
                                          fault::FaultStats* stats_out = nullptr);
 
+/// run_app against a multi-server PfsCluster backend. With no faults the
+/// returned bundle is byte-identical to run_app's for any topology (the
+/// cluster's differential oracle, tests/test_cluster.cpp).
+[[nodiscard]] trace::TraceBundle run_app_cluster(
+    const AppInfo& info, AppConfig cfg, vfs::ClusterConfig cluster_cfg,
+    std::vector<sim::ClockModel> clocks = {},
+    const FaultSetup* faults = nullptr,
+    fault::FaultStats* stats_out = nullptr);
+
 }  // namespace pfsem::apps

@@ -156,12 +156,11 @@ const AppInfo* find_app(std::string_view name) {
   return nullptr;
 }
 
-trace::TraceBundle run_app(const AppInfo& info, AppConfig cfg,
-                           vfs::PfsConfig pfs_cfg,
-                           std::vector<sim::ClockModel> clocks,
-                           const FaultSetup* faults,
-                           fault::FaultStats* stats_out) {
-  Harness h(cfg, pfs_cfg, std::move(clocks));
+namespace {
+
+trace::TraceBundle run_on(Harness& h, const AppInfo& info,
+                          const FaultSetup* faults,
+                          fault::FaultStats* stats_out) {
   if (faults != nullptr) {
     h.set_faults(faults->plan, faults->seed);
     h.set_retry_policy(faults->retry);
@@ -172,6 +171,26 @@ trace::TraceBundle run_app(const AppInfo& info, AppConfig cfg,
                                          : fault::FaultStats{};
   }
   return h.finish();
+}
+
+}  // namespace
+
+trace::TraceBundle run_app(const AppInfo& info, AppConfig cfg,
+                           vfs::PfsConfig pfs_cfg,
+                           std::vector<sim::ClockModel> clocks,
+                           const FaultSetup* faults,
+                           fault::FaultStats* stats_out) {
+  Harness h(cfg, pfs_cfg, std::move(clocks));
+  return run_on(h, info, faults, stats_out);
+}
+
+trace::TraceBundle run_app_cluster(const AppInfo& info, AppConfig cfg,
+                                   vfs::ClusterConfig cluster_cfg,
+                                   std::vector<sim::ClockModel> clocks,
+                                   const FaultSetup* faults,
+                                   fault::FaultStats* stats_out) {
+  Harness h(cfg, cluster_cfg, std::move(clocks));
+  return run_on(h, info, faults, stats_out);
 }
 
 }  // namespace pfsem::apps

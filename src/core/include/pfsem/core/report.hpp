@@ -55,6 +55,15 @@ struct DegradedSummary {
   std::uint64_t writes_lost = 0;       ///< versions discarded by crashes
   std::vector<int> crashed_ranks;      ///< in crash order
 
+  // Server fault domains (multi-server PfsCluster backend only; all zero
+  // on single-server runs, and the report omits the block entirely then).
+  std::uint64_t server_crashes = 0;
+  std::uint64_t server_restarts = 0;
+  std::uint64_t mds_failovers = 0;       ///< standby replicas promoted
+  std::uint64_t failover_redirects = 0;  ///< client ops redirected (EHOSTDOWN)
+  std::uint64_t degraded_reads = 0;      ///< reads with holes over dead OSTs
+  std::vector<std::string> crashed_servers;  ///< "mds0", "ost3", ... in order
+
   /// A crash means some rank's trace stops early: per-file counters and
   /// conflict analysis describe a truncated run, not the intended one.
   [[nodiscard]] bool analysis_truncated() const {

@@ -220,6 +220,26 @@ void print_degraded(const DegradedSummary& d, std::ostream& os) {
   }
   t.add_row({"ranks crashed", ranks.empty() ? "none" : ranks});
   t.print(os);
+  if (d.server_crashes > 0 || d.server_restarts > 0) {
+    os << "\n== server fault domains ==\n";
+    Table s({"counter", "value"});
+    std::string names;
+    for (const std::string& n : d.crashed_servers) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    s.add_row({"servers crashed", names.empty() ? "none" : names});
+    s.add_row({"server restarts", std::to_string(d.server_restarts)});
+    s.add_row({"MDS failovers (standby promoted)",
+               std::to_string(d.mds_failovers)});
+    s.add_row({"client ops redirected", std::to_string(d.failover_redirects)});
+    s.add_row({"degraded reads (holes over dead OSTs)",
+               std::to_string(d.degraded_reads)});
+    s.print(os);
+    os << "surviving semantics: metadata ops ride promoted standby replicas; "
+          "reads over a dead data server return holes (degraded reads); "
+          "writes stay durable via client write-behind\n";
+  }
   os << (d.analysis_truncated()
              ? "analysis: TRUNCATED (at least one rank crashed; per-file "
                "counters and conflicts describe a partial run)\n"

@@ -17,6 +17,7 @@
 // iolib (retry accounting, crash checks at operation boundaries).
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <utility>
 #include <vector>
@@ -39,8 +40,14 @@ struct FaultStats {
   std::uint64_t delayed_writes = 0;    ///< writes hit by a visibility spike
   std::uint64_t mpi_drops = 0;         ///< messages dropped then retransmitted
   std::uint64_t writes_lost = 0;       ///< versions discarded by crashes
+  std::uint64_t server_crashes = 0;    ///< MDS/OST fail-stop events fired
+  std::uint64_t server_restarts = 0;   ///< servers that rejoined the cluster
+  std::uint64_t mds_failovers = 0;     ///< standby replicas promoted to primary
+  std::uint64_t failover_redirects = 0;  ///< client ops re-sent after EHOSTDOWN
+  std::uint64_t degraded_reads = 0;    ///< reads with holes from dead OSTs
   std::vector<std::uint64_t> lost_versions;  ///< the discarded version tags
   std::vector<Rank> crashed_ranks;           ///< in crash order
+  std::vector<std::string> crashed_servers;  ///< "mds1", "ost0", ... in order
 
   bool operator==(const FaultStats&) const = default;
 };
@@ -77,6 +84,18 @@ class Injector {
   [[nodiscard]] std::vector<std::pair<Rank, SimTime>> crash_schedule(
       int nranks) const;
 
+  /// Server crash/restart events sorted by (time, restart-last, kind, id).
+  /// Pure function of the plan; the harness spawns one killable root per
+  /// event that applies it to the PfsCluster at the event instant.
+  [[nodiscard]] std::vector<ServerEvent> server_schedule() const;
+
+  /// Split-brain visibility: clamp the visibility key of a write by
+  /// `writer` as seen by `reader` to the heal time of every partition the
+  /// key falls into with writer and reader on opposite sides. Pure
+  /// function of the plan (windows checked against the undeferred key).
+  [[nodiscard]] SimTime partition_defer(Rank writer, Rank reader,
+                                        SimTime key) const;
+
   /// Fail-stop bookkeeping: mark_crashed is called by the crash scheduler
   /// at the crash instant (`now` feeds the observability event stream);
   /// crashed() is checked by iolib/mpi/harness at every operation
@@ -109,12 +128,27 @@ class Injector {
     if (obs_ != nullptr) obs_->metrics.add(obs_->fault_delays);
   }
   void note_lost_writes(const std::vector<std::uint64_t>& versions);
+  /// Server-domain accounting (called by vfs::PfsCluster / iolib).
+  void note_server_crash(ServerKind kind, int id, SimTime now);
+  void note_server_restart(ServerKind kind, int id, SimTime now);
+  void note_mds_failover(int shard, SimTime now);
+  void note_failover_redirect() {
+    ++stats_.failover_redirects;
+    if (obs_ != nullptr) obs_->metrics.add(obs_->fault_redirects);
+  }
+  void note_degraded_read() {
+    ++stats_.degraded_reads;
+    if (obs_ != nullptr) obs_->metrics.add(obs_->fault_degraded_reads);
+  }
 
  private:
   FaultPlan plan_;
   Rng rng_;
   int ranks_per_node_;
   std::set<Rank> crashed_;
+  /// Crash instants of currently-down servers, so a restart can close the
+  /// degraded-mode span it opened.
+  std::map<std::pair<ServerKind, int>, SimTime> server_down_since_;
   FaultStats stats_;
   /// Observability (off = nullptr; one branch per accounting site).
   obs::Run* obs_ = nullptr;

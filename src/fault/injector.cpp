@@ -98,6 +98,70 @@ std::vector<std::pair<Rank, SimTime>> Injector::crash_schedule(
   return out;
 }
 
+std::vector<ServerEvent> Injector::server_schedule() const {
+  std::vector<ServerEvent> out = plan_.server_events;
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.restart != b.restart) return !a.restart;  // crash before restart
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+SimTime Injector::partition_defer(Rank writer, Rank reader,
+                                  SimTime key) const {
+  if (writer == reader || writer == kNoRank || reader == kNoRank) return key;
+  SimTime deferred = key;
+  for (const auto& p : plan_.partitions) {
+    if (key < p.from || key >= p.to) continue;
+    if (p.inside(writer) == p.inside(reader)) continue;
+    deferred = std::max(deferred, p.to);
+  }
+  return deferred;
+}
+
+void Injector::note_server_crash(ServerKind kind, int id, SimTime now) {
+  ++stats_.server_crashes;
+  stats_.crashed_servers.push_back(server_name(kind, id));
+  server_down_since_[{kind, id}] = now;
+  if (obs_ != nullptr) {
+    obs_->metrics.add(obs_->fault_server_crashes);
+    if (obs_->tracing()) {
+      obs_->tracer.instant({obs::kPidFault, id},
+                           kind == ServerKind::Mds ? "mds crash" : "ost crash",
+                           now);
+    }
+  }
+}
+
+void Injector::note_server_restart(ServerKind kind, int id, SimTime now) {
+  ++stats_.server_restarts;
+  const auto it = server_down_since_.find({kind, id});
+  if (obs_ != nullptr) {
+    obs_->metrics.add(obs_->fault_server_restarts);
+    if (obs_->tracing()) {
+      // The degraded-mode window as one span: crash instant -> restart.
+      const SimTime since = it != server_down_since_.end() ? it->second : now;
+      obs_->tracer.complete(
+          {obs::kPidFault, id},
+          kind == ServerKind::Mds ? "mds degraded" : "ost degraded", since,
+          now - since);
+    }
+  }
+  if (it != server_down_since_.end()) server_down_since_.erase(it);
+}
+
+void Injector::note_mds_failover(int shard, SimTime now) {
+  ++stats_.mds_failovers;
+  if (obs_ != nullptr) {
+    obs_->metrics.add(obs_->fault_failovers);
+    if (obs_->tracing()) {
+      obs_->tracer.instant({obs::kPidFault, shard}, "mds failover", now);
+    }
+  }
+}
+
 void Injector::mark_crashed(Rank r, SimTime now) {
   if (!crashed_.insert(r).second) return;
   stats_.crashed_ranks.push_back(r);

@@ -22,8 +22,17 @@ const char* errno_name(int err) {
     case kEio: return "EIO";
     case kEnospc: return "ENOSPC";
     case kErofs: return "EROFS";
+    case kEhostdown: return "EHOSTDOWN";
   }
   return "E?";
+}
+
+const char* to_string(ServerKind k) {
+  return k == ServerKind::Mds ? "mds" : "ost";
+}
+
+std::string server_name(ServerKind kind, int id) {
+  return std::string(to_string(kind)) + std::to_string(id);
 }
 
 namespace {
@@ -149,14 +158,18 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.transients.push_back(f);
     } else if (kind == "slow") {
       OstSlowdown s;
+      bool ost_given = false;
       for (const auto& [k, v] : kv) {
         if (k == "factor") s.factor = parse_double(k, v);
         else if (k == "from") s.from = parse_duration(k, v);
         else if (k == "to") s.to = parse_duration(k, v);
-        else if (k == "ost") s.ost = static_cast<int>(parse_int(k, v));
+        else if (k == "ost") { s.ost = static_cast<int>(parse_int(k, v)); ost_given = true; }
         else reject(k);
       }
       require(s.factor >= 1.0, "fault plan: slow factor must be >= 1");
+      require(s.from >= 0 && s.from < s.to,
+              "fault plan: slow window must satisfy 0 <= from < to");
+      require(!ost_given || s.ost >= 0, "fault plan: slow ost must be >= 0");
       plan.slowdowns.push_back(s);
     } else if (kind == "vis") {
       VisibilitySpike s;
@@ -167,6 +180,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         else reject(k);
       }
       require(s.extra >= 0, "fault plan: vis extra must be >= 0");
+      require(s.from >= 0 && s.from < s.to,
+              "fault plan: vis window must satisfy 0 <= from < to");
       plan.spikes.push_back(s);
     } else if (kind == "drop") {
       MpiDrop d;
@@ -180,21 +195,90 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.drops.push_back(d);
     } else if (kind == "crash") {
       CrashEvent c;
+      bool rank_given = false, node_given = false;
       for (const auto& [k, v] : kv) {
-        if (k == "rank") c.rank = static_cast<Rank>(parse_int(k, v));
-        else if (k == "node") c.node = static_cast<int>(parse_int(k, v));
+        if (k == "rank") { c.rank = static_cast<Rank>(parse_int(k, v)); rank_given = true; }
+        else if (k == "node") { c.node = static_cast<int>(parse_int(k, v)); node_given = true; }
         else if (k == "t") c.t = parse_duration(k, v);
         else reject(k);
       }
-      require((c.rank != kNoRank) != (c.node >= 0),
+      require(rank_given != node_given,
               "fault plan: crash needs exactly one of rank= or node=");
+      require(!rank_given || c.rank >= 0,
+              "fault plan: crash rank must be >= 0");
+      require(!node_given || c.node >= 0,
+              "fault plan: crash node must be >= 0");
       require(c.t >= 0, "fault plan: crash time must be >= 0");
       plan.crashes.push_back(c);
+    } else if (kind == "crash_mds" || kind == "crash_ost") {
+      ServerEvent e;
+      e.kind = kind == "crash_mds" ? ServerKind::Mds : ServerKind::Ost;
+      bool id_given = false;
+      for (const auto& [k, v] : kv) {
+        if (k == "id") { e.id = static_cast<int>(parse_int(k, v)); id_given = true; }
+        else if (k == "t") e.t = parse_duration(k, v);
+        else reject(k);
+      }
+      require(id_given, "fault plan: " + kind + " needs id=");
+      require(e.id >= 0, "fault plan: " + kind + " id must be >= 0");
+      require(e.t >= 0, "fault plan: " + kind + " time must be >= 0");
+      plan.server_events.push_back(e);
+    } else if (kind == "restart_server") {
+      ServerEvent e;
+      e.restart = true;
+      bool mds_given = false, ost_given = false;
+      for (const auto& [k, v] : kv) {
+        if (k == "mds") { e.kind = ServerKind::Mds; e.id = static_cast<int>(parse_int(k, v)); mds_given = true; }
+        else if (k == "ost") { e.kind = ServerKind::Ost; e.id = static_cast<int>(parse_int(k, v)); ost_given = true; }
+        else if (k == "t") e.t = parse_duration(k, v);
+        else reject(k);
+      }
+      require(mds_given != ost_given,
+              "fault plan: restart_server needs exactly one of mds= or ost=");
+      require(e.id >= 0, "fault plan: restart_server id must be >= 0");
+      require(e.t >= 0, "fault plan: restart_server time must be >= 0");
+      plan.server_events.push_back(e);
+    } else if (kind == "partition") {
+      Partition p;
+      bool ranks_given = false;
+      for (const auto& [k, v] : kv) {
+        if (k == "ranks") {
+          const std::size_t dash = v.find('-');
+          require(dash != std::string::npos,
+                  "fault plan: partition ranks must be LO-HI, got '" + v + "'");
+          p.lo = static_cast<Rank>(parse_int(k, v.substr(0, dash)));
+          p.hi = static_cast<Rank>(parse_int(k, v.substr(dash + 1)));
+          ranks_given = true;
+        } else if (k == "from") p.from = parse_duration(k, v);
+        else if (k == "to") p.to = parse_duration(k, v);
+        else reject(k);
+      }
+      require(ranks_given, "fault plan: partition needs ranks=LO-HI");
+      require(p.lo >= 0 && p.lo <= p.hi,
+              "fault plan: partition ranks must satisfy 0 <= LO <= HI");
+      require(p.from >= 0 && p.from < p.to,
+              "fault plan: partition window must satisfy 0 <= from < to");
+      plan.partitions.push_back(p);
     } else {
       require(false, "fault plan: unknown clause kind '" + kind + "'");
     }
   }
   return plan;
+}
+
+void FaultPlan::validate_topology(int mds_count, int ost_count) const {
+  for (const auto& e : server_events) {
+    const int limit = e.kind == ServerKind::Mds ? mds_count : ost_count;
+    if (limit <= 0) {
+      require(false, "fault plan: server event '" + server_name(e.kind, e.id) +
+                         "' needs a multi-server PfsCluster backend "
+                         "(run with --mds/--ost)");
+    }
+    require(e.id < limit,
+            "fault plan: server id " + std::to_string(e.id) +
+                " out of range for " + std::to_string(limit) + " " +
+                std::string(to_string(e.kind)) + " server(s)");
+  }
 }
 
 }  // namespace pfsem::fault

@@ -25,9 +25,22 @@ struct RetryPolicy {
   /// Simulated errnos worth retrying; everything else fails immediately.
   std::vector<int> retryable = {fault::kEio, fault::kEnospc};
 
+  /// Server failover (multi-server PfsCluster, docs/topology.md):
+  /// EHOSTDOWN marks a dead server, not a transient error. The façade
+  /// redirects — re-issues after `failover_backoff` of detection +
+  /// reconnect time, landing on the promoted replica — up to
+  /// `failover_attempts` times per operation; exhausting the budget
+  /// (no replica remains) fails loudly. Budgeted separately from
+  /// `max_attempts` so transient-retry tuning never masks a dead server.
+  int failover_attempts = 2;
+  SimDuration failover_backoff = 500'000;  // 500 us
+
   [[nodiscard]] bool is_retryable(int err) const {
     return std::find(retryable.begin(), retryable.end(), err) !=
            retryable.end();
+  }
+  [[nodiscard]] bool is_failover(int err) const {
+    return err == fault::kEhostdown;
   }
   /// Backoff before retry number `attempt` (1-based: the retry after the
   /// first failed attempt waits backoff_for(1) == backoff).

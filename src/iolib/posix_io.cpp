@@ -29,7 +29,38 @@ auto with_retry(IoContext& ctx, Rank r, Op op)
   check_crash(ctx, r);
   auto res = op(ctx.engine->now());
   co_await ctx.engine->delay(res.cost);
-  for (int attempt = 1; res.err != 0; ++attempt) {
+  int failovers = 0;
+  for (int attempt = 1; res.err != 0;) {
+    // Server failover is its own budget: EHOSTDOWN means a dead server,
+    // and the redirect (after detection + reconnect time) lands on the
+    // standby the cluster promoted. Exhausting it — no replica remains —
+    // is a loud permanent failure, like any other give-up.
+    if (ctx.retry.is_failover(res.err)) {
+      if (failovers >= ctx.retry.failover_attempts) {
+        if (ctx.injector != nullptr) ctx.injector->note_giveup();
+        if (ctx.obs != nullptr && ctx.obs->tracing()) {
+          ctx.obs->tracer.instant({obs::kPidIo, r}, "failover give-up",
+                                  ctx.engine->now(), {"errno", res.err},
+                                  {"redirects", failovers});
+        }
+        throw Error("simulated I/O failed permanently: no server replica "
+                    "remains after " +
+                    std::to_string(failovers) +
+                    " failover redirect(s): " + fault::errno_name(res.err));
+      }
+      ++failovers;
+      if (ctx.injector != nullptr) ctx.injector->note_failover_redirect();
+      if (ctx.obs != nullptr && ctx.obs->tracing()) {
+        ctx.obs->tracer.instant({obs::kPidIo, r}, "failover redirect",
+                                ctx.engine->now(), {"errno", res.err},
+                                {"redirect", failovers});
+      }
+      co_await ctx.engine->delay(ctx.retry.failover_backoff);
+      check_crash(ctx, r);
+      res = op(ctx.engine->now());
+      co_await ctx.engine->delay(res.cost);
+      continue;
+    }
     if (!ctx.retry.is_retryable(res.err) ||
         attempt >= ctx.retry.max_attempts) {
       if (ctx.injector != nullptr) ctx.injector->note_giveup();
@@ -51,6 +82,7 @@ auto with_retry(IoContext& ctx, Rank r, Op op)
     check_crash(ctx, r);
     res = op(ctx.engine->now());
     co_await ctx.engine->delay(res.cost);
+    ++attempt;
   }
   co_return res;
 }
@@ -276,8 +308,13 @@ sim::Task<std::int64_t> PosixIo::rename(Rank r, std::string from,
   auto res = co_await with_retry(ctx_, r, [&](SimTime now) {
     return ctx_.pfs->rename(from, to, now);
   });
+  // The record carries the source path's id; on success the destination
+  // name aliases that id so the file keeps one dense slot across the
+  // rename. A failed rename touches no namespace, so no alias.
+  const FileId file = res.ret == 0 ? ctx_.collector->intern_rename(from, to)
+                                   : ctx_.collector->intern(from);
   emit(r, trace::Func::rename, t0, ctx_.engine->now(), -1, res.ret, 0, 0, 0,
-       ctx_.collector->intern(from + " -> " + to));
+       file);
   co_return res.ret;
 }
 

@@ -98,6 +98,11 @@ struct Run {
   Counter fault_delays;       ///< writes hit by visibility spikes (stable)
   Counter fault_crashes;      ///< ranks fail-stopped (stable)
   Counter fault_writes_lost;  ///< versions discarded by crashes (stable)
+  Counter fault_server_crashes;   ///< MDS/OST servers fail-stopped (stable)
+  Counter fault_server_restarts;  ///< servers rejoined (stable)
+  Counter fault_failovers;        ///< standby MDS replicas promoted (stable)
+  Counter fault_redirects;        ///< client ops re-sent after EHOSTDOWN (stable)
+  Counter fault_degraded_reads;   ///< reads with dead-OST holes (stable)
   // exec::ThreadPool (wall-clock side; never in the stable dump)
   Counter pool_jobs;    ///< parallel_for invocations (volatile)
   Counter pool_items;   ///< loop indices executed (volatile)

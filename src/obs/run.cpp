@@ -52,6 +52,11 @@ Run::Run(Config c)
   fault_delays = metrics.counter("fault.delayed_writes", S);
   fault_crashes = metrics.counter("fault.crashes", S);
   fault_writes_lost = metrics.counter("fault.writes_lost", S);
+  fault_server_crashes = metrics.counter("fault.server_crashes", S);
+  fault_server_restarts = metrics.counter("fault.server_restarts", S);
+  fault_failovers = metrics.counter("fault.mds_failovers", S);
+  fault_redirects = metrics.counter("fault.failover_redirects", S);
+  fault_degraded_reads = metrics.counter("fault.degraded_reads", S);
 
   pool_jobs = metrics.counter("pool.jobs", V);
   pool_items = metrics.counter("pool.items", V);
@@ -83,13 +88,22 @@ std::string summary(const Run& run) {
      << m.value(run.vfs_ost_bytes) << " B across OSTs\n";
   const auto faults = m.value(run.fault_transient);
   const auto crashes = m.value(run.fault_crashes);
-  if (faults == 0 && crashes == 0 && m.value(run.fault_mpi_drops) == 0) {
+  const auto server_crashes = m.value(run.fault_server_crashes);
+  if (faults == 0 && crashes == 0 && server_crashes == 0 &&
+      m.value(run.fault_mpi_drops) == 0) {
     os << "faults: none\n";
   } else {
     os << "faults: " << faults << " transient (" << m.value(run.fault_eio)
        << " EIO, " << m.value(run.fault_enospc) << " ENOSPC), "
        << m.value(run.fault_mpi_drops) << " MPI drops, " << crashes
        << " crashes, " << m.value(run.fault_writes_lost) << " writes lost\n";
+    if (server_crashes > 0) {
+      os << "  servers: " << server_crashes << " crashed, "
+         << m.value(run.fault_server_restarts) << " restarted, "
+         << m.value(run.fault_failovers) << " MDS failovers, "
+         << m.value(run.fault_redirects) << " redirected ops, "
+         << m.value(run.fault_degraded_reads) << " degraded reads\n";
+    }
     // Cite the exact injections when the tracer captured them, so a
     // degraded-mode report names what fired, not just how often.
     std::size_t cited = 0, total = 0;

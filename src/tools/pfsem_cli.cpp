@@ -16,6 +16,11 @@
 //   --seed S         workload seed
 //   --faults SPEC    fault plan (see docs/faults.md), e.g.
 //                    "eio:p=0.01,ops=write;crash:rank=3,t=2ms"
+//   --mds N          metadata servers: run on the multi-server PfsCluster
+//                    backend with N namespace shards (see docs/topology.md)
+//   --ost M          data servers for the cluster backend
+//   --stripe K       stripe block size, power of two; K/M suffixes are
+//                    KiB/MiB (default 64K). Implies the cluster backend.
 //   --fault-seed S   fault-injection seed (default 1)
 //   --retries N      I/O retries per op after the first attempt (default 0)
 //   --threads N      analysis threads (N >= 1; omit for all hardware
@@ -66,6 +71,12 @@ struct Options {
   bool compact = false;  // trace: write the compact format
   std::string faults;    // fault plan spec ("" = fault-free)
   std::uint64_t fault_seed = 1;
+  // Multi-server topology (--mds/--ost/--stripe); any flag selects the
+  // PfsCluster backend (fault-free output is byte-identical to Pfs).
+  bool cluster = false;
+  int mds = 1;
+  int ost = 1;
+  Offset stripe = 64u << 10;
   int retries = 0;  // retries per op after the first attempt
   int threads = 0;  // analysis threads (0 = all hardware threads)
   bool capture_reference = false;  // run the retained reference capture path
@@ -94,8 +105,33 @@ int usage() {
                "  pfsem remedy <config|trace.trc> [--strict] [options]\n"
                "common options: --threads N (N >= 1; omit for all cores),\n"
                "                --capture fast|reference, --obs,\n"
-               "                --obs-out <file>, --obs-trace <file>\n";
+               "                --obs-out <file>, --obs-trace <file>,\n"
+               "                --mds N --ost M --stripe K (multi-server "
+               "cluster backend)\n";
   return 2;
+}
+
+/// Parse a --stripe value: BYTES with an optional K/M (KiB/MiB) suffix;
+/// must come out a positive power of two.
+Offset parse_stripe(const std::string& s) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    throw Error("--stripe wants BYTES[K|M], got '" + s + "'");
+  }
+  const std::string suffix = s.substr(pos);
+  if (suffix == "K" || suffix == "k") v <<= 10;
+  else if (suffix == "M" || suffix == "m") v <<= 20;
+  else if (!suffix.empty()) {
+    throw Error("--stripe wants BYTES[K|M], got '" + s + "'");
+  }
+  if (v == 0 || (v & (v - 1)) != 0) {
+    throw Error("--stripe wants a positive power-of-two block size, got '" +
+                s + "'");
+  }
+  return static_cast<Offset>(v);
 }
 
 Options parse_options(int argc, char** argv, int first) {
@@ -113,6 +149,26 @@ Options parse_options(int argc, char** argv, int first) {
     else if (a == "--compact") opt.compact = true;
     else if (a == "--faults") opt.faults = next();
     else if (a == "--fault-seed") opt.fault_seed = std::stoull(next());
+    else if (a == "--mds") {
+      opt.mds = std::stoi(next());
+      opt.cluster = true;
+      if (opt.mds < 1) {
+        throw Error("--mds wants at least one metadata server, got " +
+                    std::to_string(opt.mds));
+      }
+    }
+    else if (a == "--ost") {
+      opt.ost = std::stoi(next());
+      opt.cluster = true;
+      if (opt.ost < 1) {
+        throw Error("--ost wants at least one data server, got " +
+                    std::to_string(opt.ost));
+      }
+    }
+    else if (a == "--stripe") {
+      opt.stripe = parse_stripe(next());
+      opt.cluster = true;
+    }
     else if (a == "--retries") opt.retries = std::stoi(next());
     else if (a == "--threads") {
       opt.threads = std::stoi(next());
@@ -177,20 +233,31 @@ trace::TraceBundle obtain(const std::string& what, Options& opt) {
     auto clocks = opt.skew > 0
                       ? sim::make_skewed_clocks(opt.ranks, opt.skew, 100.0, opt.seed)
                       : std::vector<sim::ClockModel>{};
+    apps::FaultSetup setup;
+    const apps::FaultSetup* setup_ptr = nullptr;
     if (!opt.faults.empty()) {
-      apps::FaultSetup setup;
       setup.plan = fault::FaultPlan::parse(opt.faults);
       setup.seed = opt.fault_seed;
       setup.retry.max_attempts = opt.retries + 1;
-      auto bundle = apps::run_app(*info, cfg, {}, std::move(clocks), &setup,
-                                  &opt.fault_stats);
+      setup_ptr = &setup;
       opt.ran_faults = true;
-      return bundle;
     }
-    return apps::run_app(*info, cfg, {}, std::move(clocks));
+    if (opt.cluster) {
+      vfs::ClusterConfig ccfg;
+      ccfg.mds_count = opt.mds;
+      ccfg.ost_count = opt.ost;
+      ccfg.stripe = opt.stripe;
+      return apps::run_app_cluster(*info, cfg, ccfg, std::move(clocks),
+                                   setup_ptr, &opt.fault_stats);
+    }
+    return apps::run_app(*info, cfg, {}, std::move(clocks), setup_ptr,
+                         &opt.fault_stats);
   }
   require(opt.faults.empty(),
           "--faults needs a named config to simulate, not a saved trace");
+  require(!opt.cluster,
+          "--mds/--ost/--stripe need a named config to simulate, not a "
+          "saved trace");
   std::ifstream is(what, std::ios::binary);
   if (!is) throw Error("'" + what + "' is neither a known config nor a readable trace file");
   // Auto-detect the format by magic.

@@ -70,6 +70,16 @@ class Collector {
     return bundle_.paths.intern(path);
   }
 
+  /// Intern a rename: the record carries `from`'s id, and `to` becomes an
+  /// alias of that id (no new path-table slot), so later opens of the new
+  /// name continue the renamed file's history under one dense FileId.
+  [[nodiscard]] FileId intern_rename(std::string_view from,
+                                     std::string_view to) {
+    const FileId id = bundle_.paths.intern(from);
+    (void)bundle_.paths.alias(to, id);
+    return id;
+  }
+
   /// Resolve a previously interned id ("" for kNoFile).
   [[nodiscard]] std::string_view path_view(FileId id) const {
     return bundle_.paths.view_or_empty(id);

@@ -26,10 +26,13 @@ class PathTable {
  public:
   PathTable() = default;
 
+  // Copies keep the dense string table only; aliases are a capture-time
+  // lookup aid and are rebuilt by the next rename, never serialized.
   PathTable(const PathTable& other) : strings_(other.strings_) { reindex(); }
   PathTable& operator=(const PathTable& other) {
     if (this != &other) {
       strings_ = other.strings_;
+      alias_names_.clear();
       reindex();
     }
     return *this;
@@ -46,6 +49,21 @@ class PathTable {
     const FileId id = static_cast<FileId>(strings_.size());
     strings_.emplace_back(path);
     index_.emplace(std::string_view{strings_.back()}, id);
+    return id;
+  }
+
+  /// Make `name` resolve to the live id `id` without appending a string:
+  /// after a rename, opens of the new name keep the renamed file's dense
+  /// slot instead of minting a second identity for the same bytes. The
+  /// alias lives in the lookup index only — size() and the id -> path
+  /// mapping are untouched, so per-file columns stay dense. No-op when
+  /// `name` is already interned (rename onto an existing path keeps both
+  /// identities); returns the id `name` now resolves to.
+  FileId alias(std::string_view name, FileId id) {
+    require(id < strings_.size(), "alias target FileId out of range");
+    if (auto it = index_.find(name); it != index_.end()) return it->second;
+    alias_names_.emplace_back(name);
+    index_.emplace(std::string_view{alias_names_.back()}, id);
     return id;
   }
 
@@ -92,6 +110,8 @@ class PathTable {
   }
 
   std::deque<std::string> strings_;
+  /// Stable storage for alias() names (index_ keys view into it).
+  std::deque<std::string> alias_names_;
   std::unordered_map<std::string_view, FileId, Hash, Eq> index_;
 };
 

@@ -1,0 +1,216 @@
+#include "pfsem/vfs/file_core.hpp"
+
+#include <algorithm>
+
+#include "pfsem/fault/injector.hpp"
+
+namespace pfsem::vfs::detail {
+
+void assign(std::map<Offset, Seg>& m, Extent e, VersionTag v, Rank w) {
+  auto split = [&m](Offset x) {
+    auto it = m.upper_bound(x);
+    if (it == m.begin()) return;
+    --it;
+    if (it->first < x && x < it->second.end) {
+      Seg right = it->second;
+      it->second.end = x;
+      m.emplace(x, right);
+    }
+  };
+  split(e.begin);
+  split(e.end);
+  auto it = m.lower_bound(e.begin);
+  while (it != m.end() && it->first < e.end) it = m.erase(it);
+  m.emplace(e.begin, Seg{e.end, v, w});
+}
+
+std::vector<ReadExtent> emit_extents(const std::map<Offset, Seg>& m) {
+  std::vector<ReadExtent> out;
+  for (const auto& [begin, seg] : m) {
+    if (!out.empty() && out.back().version == seg.v &&
+        out.back().writer == seg.w && out.back().ext.end == begin) {
+      out.back().ext.end = seg.end;
+    } else {
+      out.push_back({{begin, seg.end}, seg.v, seg.w});
+    }
+  }
+  return out;
+}
+
+std::vector<ReadExtent> resolve_view(const FileCore& f, const ResolveEnv& env,
+                                     Rank r, SimTime now, SimTime session_open,
+                                     Offset off, std::uint64_t count) {
+  const Extent range{off, off + count};
+  // Collect visible writes with their effective-visibility key.
+  struct Cand {
+    SimTime key;
+    const WriteRecord* w;
+  };
+  std::vector<Cand> cands;
+  // Gather candidate writes from the block index (deduplicated: a write
+  // spanning several blocks appears once per block).
+  std::vector<std::uint32_t> candidates;
+  {
+    const Offset first = range.begin / FileCore::kIndexBlock;
+    const Offset last =
+        range.end == 0 ? 0 : (range.end - 1) / FileCore::kIndexBlock;
+    for (auto it = f.write_index.lower_bound(first);
+         it != f.write_index.end() && it->first <= last; ++it) {
+      candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  for (std::uint32_t ci : candidates) {
+    const auto& w = f.writes[ci];
+    if (!w.ext.overlaps(range)) continue;
+    SimTime key = kTimeNever;
+    SimTime threshold = now;
+    if (w.writer == r || w.writer == kNoRank || f.laminated) {
+      // Own writes are always visible in order; genesis (preloaded) data
+      // predates the run and laminated files are globally visible under
+      // every model.
+      key = w.t_write;
+    } else {
+      switch (env.model) {
+        case ConsistencyModel::Strong:
+          key = w.t_write;
+          break;
+        case ConsistencyModel::Commit:
+          key = w.t_commit;
+          if (key == kTimeNever) continue;
+          break;
+        case ConsistencyModel::Session:
+          key = w.t_publish;
+          if (key == kTimeNever) continue;
+          threshold = session_open;
+          break;
+        case ConsistencyModel::Eventual:
+          key = w.t_write + env.eventual_propagation;
+          // A visibility spike active when the write was issued stretches
+          // its propagation further.
+          if (env.injector != nullptr) {
+            key += env.injector->visibility_extra(w.t_write);
+          }
+          break;
+      }
+      // Split brain: a write from the other side of an active network
+      // partition stays invisible until the partition heals, whatever the
+      // model says — observable staleness even under strong semantics.
+      if (env.injector != nullptr) {
+        key = env.injector->partition_defer(w.writer, r, key);
+      }
+    }
+    if (key > threshold) continue;
+    cands.push_back({key, &w});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    return a.key != b.key ? a.key < b.key : a.w->id < b.w->id;
+  });
+  std::map<Offset, Seg> m;
+  m.emplace(range.begin, Seg{range.end, 0, kNoRank});
+  for (const auto& c : cands) {
+    assign(m, c.w->ext.intersect(range), c.w->id, c.w->writer);
+  }
+  return emit_extents(m);
+}
+
+std::vector<ReadExtent> strong_view_of(const FileCore& f, Offset off,
+                                       std::uint64_t count) {
+  const Extent range{off, off + count};
+  std::map<Offset, Seg> m;
+  m.emplace(range.begin, Seg{range.end, 0, kNoRank});
+  // Writes are stored in write order; later writes overwrite earlier ones.
+  for (const auto& w : f.writes) {
+    if (w.ext.overlaps(range)) assign(m, w.ext.intersect(range), w.id, w.writer);
+  }
+  return emit_extents(m);
+}
+
+bool write_durable(const WriteRecord& w, const ResolveEnv& env, SimTime now) {
+  switch (env.model) {
+    case ConsistencyModel::Strong: return true;
+    case ConsistencyModel::Commit:
+      return w.t_commit != kTimeNever && w.t_commit <= now;
+    case ConsistencyModel::Session:
+      return w.t_publish != kTimeNever && w.t_publish <= now;
+    case ConsistencyModel::Eventual: {
+      SimTime key = w.t_write + env.eventual_propagation;
+      if (env.injector != nullptr) {
+        key += env.injector->visibility_extra(w.t_write);
+      }
+      return key <= now;
+    }
+  }
+  return true;
+}
+
+SimDuration charge_locks(FileCore& f, Rank r, Extent ext, bool exclusive,
+                         const LockParams& p, LockStats& stats) {
+  if (p.model != ConsistencyModel::Strong || ext.empty()) return 0;
+  SimDuration cost = 0;
+  const Offset first = ext.begin / p.lock_block;
+  const Offset last = (ext.end - 1) / p.lock_block;
+  for (Offset b = first; b <= last; ++b) {
+    LockBlock& blk = f.locks[b];
+    // An exclusive request is satisfied only by a sole exclusive hold; a
+    // shared request is satisfied by any existing hold of ours (a sole
+    // exclusive hold also permits reading).
+    const bool held_ok =
+        exclusive ? (blk.exclusive && blk.holders.size() == 1 &&
+                     blk.holders.contains(r))
+                  : blk.holders.contains(r);
+    if (held_ok) continue;
+    ++stats.requests;
+    cost += p.lock_latency;
+    // Call back conflicting holders.
+    std::size_t conflicting = 0;
+    if (exclusive) {
+      conflicting = blk.holders.size() - (blk.holders.contains(r) ? 1 : 0);
+    } else if (blk.exclusive && !blk.holders.contains(r)) {
+      conflicting = blk.holders.size();
+    }
+    if (conflicting > 0) {
+      stats.revocations += conflicting;
+      cost += p.lock_latency * static_cast<SimDuration>(conflicting);
+    }
+    if (exclusive) {
+      blk.holders = {r};
+      blk.exclusive = true;
+    } else {
+      if (blk.exclusive) blk.holders.clear();
+      blk.exclusive = false;
+      blk.holders.insert(r);
+    }
+  }
+  return cost;
+}
+
+std::vector<VersionTag> apply_rank_crash(
+    std::vector<std::shared_ptr<FileCore>>& files, Rank r, SimTime now,
+    const ResolveEnv& env) {
+  std::vector<VersionTag> lost;
+  for (auto& f : files) {
+    if (!f) continue;
+    if (!f->laminated) {
+      const std::size_t before = f->writes.size();
+      std::erase_if(f->writes, [&](const WriteRecord& w) {
+        if (w.writer != r || write_durable(w, env, now)) return false;
+        lost.push_back(w.id);
+        return true;
+      });
+      if (f->writes.size() != before) {
+        f->rebuild_index();
+        Offset size = 0;
+        for (const auto& w : f->writes) size = std::max(size, w.ext.end);
+        f->size = size;
+      }
+    }
+    for (auto& [blk, lock] : f->locks) lock.holders.erase(r);
+  }
+  std::sort(lost.begin(), lost.end());
+  return lost;
+}
+
+}  // namespace pfsem::vfs::detail

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "pfsem/trace/path_table.hpp"
+#include "pfsem/vfs/file_core.hpp"
 #include "pfsem/vfs/filesystem.hpp"
 #include "pfsem/vfs/pfs_types.hpp"
 
@@ -100,7 +101,9 @@ class Pfs final : public FileSystem {
                                                     std::uint64_t count) const;
 
  private:
-  struct File;
+  /// Per-file semantics live in the shared core (file_core.hpp) so the
+  /// multi-server PfsCluster resolves reads with identical code.
+  using File = detail::FileCore;
   struct OpenFile;
 
   File& file_for_fd(Rank r, int fd);

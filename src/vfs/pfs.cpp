@@ -18,75 +18,7 @@ const char* to_string(ConsistencyModel m) {
   return "?";
 }
 
-namespace {
-
-/// One recorded write. t_commit/t_publish start at kTimeNever and are set
-/// by fsync (commit) and close (commit + publish) respectively.
-struct WriteRecord {
-  VersionTag id = 0;
-  Rank writer = kNoRank;
-  Extent ext;
-  SimTime t_write = 0;
-  SimTime t_commit = kTimeNever;
-  SimTime t_publish = kTimeNever;
-};
-
-struct LockBlock {
-  bool exclusive = false;
-  std::set<Rank> holders;
-};
-
-/// Piece of a resolved read range: [begin, end) carries version v by w.
-struct Seg {
-  Offset end = 0;
-  VersionTag v = 0;
-  Rank w = kNoRank;
-};
-
-/// Overwrite [e.begin, e.end) in the segment map with (v, w).
-void assign(std::map<Offset, Seg>& m, Extent e, VersionTag v, Rank w) {
-  auto split = [&m](Offset x) {
-    auto it = m.upper_bound(x);
-    if (it == m.begin()) return;
-    --it;
-    if (it->first < x && x < it->second.end) {
-      Seg right = it->second;
-      it->second.end = x;
-      m.emplace(x, right);
-    }
-  };
-  split(e.begin);
-  split(e.end);
-  auto it = m.lower_bound(e.begin);
-  while (it != m.end() && it->first < e.end) it = m.erase(it);
-  m.emplace(e.begin, Seg{e.end, v, w});
-}
-
-}  // namespace
-
-struct Pfs::File {
-  std::string path;
-  std::vector<WriteRecord> writes;
-  Offset size = 0;
-  bool laminated = false;
-  std::map<Offset, LockBlock> locks;  // keyed by block index
-  /// Block index over `writes` (4 MiB buckets): resolve() only scans
-  /// writes overlapping the read's blocks instead of the whole history.
-  static constexpr Offset kIndexBlock = 4u << 20;
-  std::map<Offset, std::vector<std::uint32_t>> write_index;
-
-  void index_write(std::uint32_t idx) {
-    const Extent& e = writes[idx].ext;
-    if (e.empty()) return;
-    const Offset first = e.begin / kIndexBlock;
-    const Offset last = (e.end - 1) / kIndexBlock;
-    for (Offset b = first; b <= last; ++b) write_index[b].push_back(idx);
-  }
-  void rebuild_index() {
-    write_index.clear();
-    for (std::uint32_t i = 0; i < writes.size(); ++i) index_write(i);
-  }
-};
+using detail::WriteRecord;
 
 struct Pfs::OpenFile {
   std::shared_ptr<File> file;
@@ -125,43 +57,9 @@ Pfs::File& Pfs::file_for_fd(Rank r, int fd) {
 // lock cost model (strong semantics only)
 
 SimDuration Pfs::charge_locks(File& f, Rank r, Extent ext, bool exclusive) {
-  if (cfg_.model != ConsistencyModel::Strong || ext.empty()) return 0;
-  SimDuration cost = 0;
-  const Offset first = ext.begin / cfg_.lock_block;
-  const Offset last = (ext.end - 1) / cfg_.lock_block;
-  for (Offset b = first; b <= last; ++b) {
-    LockBlock& blk = f.locks[b];
-    // An exclusive request is satisfied only by a sole exclusive hold; a
-    // shared request is satisfied by any existing hold of ours (a sole
-    // exclusive hold also permits reading).
-    const bool held_ok =
-        exclusive ? (blk.exclusive && blk.holders.size() == 1 &&
-                     blk.holders.contains(r))
-                  : blk.holders.contains(r);
-    if (held_ok) continue;
-    ++locks_.requests;
-    cost += cfg_.lock_latency;
-    // Call back conflicting holders.
-    std::size_t conflicting = 0;
-    if (exclusive) {
-      conflicting = blk.holders.size() - (blk.holders.contains(r) ? 1 : 0);
-    } else if (blk.exclusive && !blk.holders.contains(r)) {
-      conflicting = blk.holders.size();
-    }
-    if (conflicting > 0) {
-      locks_.revocations += conflicting;
-      cost += cfg_.lock_latency * static_cast<SimDuration>(conflicting);
-    }
-    if (exclusive) {
-      blk.holders = {r};
-      blk.exclusive = true;
-    } else {
-      if (blk.exclusive) blk.holders.clear();
-      blk.exclusive = false;
-      blk.holders.insert(r);
-    }
-  }
-  return cost;
+  return detail::charge_locks(
+      f, r, ext, exclusive, {cfg_.model, cfg_.lock_latency, cfg_.lock_block},
+      locks_);
 }
 
 SimDuration Pfs::charge_transfer(Extent ext, SimTime now) {
@@ -476,149 +374,25 @@ MetaResult Pfs::rename(const std::string& from, const std::string& to,
 std::vector<ReadExtent> Pfs::resolve(const File& f, Rank r, SimTime now,
                                      SimTime session_open, Offset off,
                                      std::uint64_t count) const {
-  const Extent range{off, off + count};
-  // Collect visible writes with their effective-visibility key.
-  struct Cand {
-    SimTime key;
-    const WriteRecord* w;
-  };
-  std::vector<Cand> cands;
-  // Gather candidate writes from the block index (deduplicated: a write
-  // spanning several blocks appears once per block).
-  std::vector<std::uint32_t> candidates;
-  {
-    const Offset first = range.begin / File::kIndexBlock;
-    const Offset last = range.end == 0 ? 0 : (range.end - 1) / File::kIndexBlock;
-    for (auto it = f.write_index.lower_bound(first);
-         it != f.write_index.end() && it->first <= last; ++it) {
-      candidates.insert(candidates.end(), it->second.begin(), it->second.end());
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-  }
-  for (std::uint32_t ci : candidates) {
-    const auto& w = f.writes[ci];
-    if (!w.ext.overlaps(range)) continue;
-    SimTime key = kTimeNever;
-    if (w.writer == r || w.writer == kNoRank || f.laminated) {
-      // Own writes are always visible in order; genesis (preloaded) data
-      // predates the run and laminated files are globally visible under
-      // every model.
-      key = w.t_write;
-    } else {
-      switch (cfg_.model) {
-        case ConsistencyModel::Strong:
-          key = w.t_write;
-          break;
-        case ConsistencyModel::Commit:
-          key = w.t_commit;
-          if (key == kTimeNever || key > now) continue;
-          break;
-        case ConsistencyModel::Session:
-          key = w.t_publish;
-          if (key == kTimeNever || key > session_open) continue;
-          break;
-        case ConsistencyModel::Eventual:
-          key = w.t_write + cfg_.eventual_propagation;
-          // A visibility spike active when the write was issued stretches
-          // its propagation further.
-          if (injector_ != nullptr) key += injector_->visibility_extra(w.t_write);
-          if (key > now) continue;
-          break;
-      }
-    }
-    if (key > now) continue;
-    cands.push_back({key, &w});
-  }
-  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
-    return a.key != b.key ? a.key < b.key : a.w->id < b.w->id;
-  });
-  std::map<Offset, Seg> m;
-  m.emplace(range.begin, Seg{range.end, 0, kNoRank});
-  for (const auto& c : cands) {
-    assign(m, c.w->ext.intersect(range), c.w->id, c.w->writer);
-  }
-  std::vector<ReadExtent> out;
-  for (const auto& [begin, seg] : m) {
-    if (!out.empty() && out.back().version == seg.v &&
-        out.back().writer == seg.w && out.back().ext.end == begin) {
-      out.back().ext.end = seg.end;
-    } else {
-      out.push_back({{begin, seg.end}, seg.v, seg.w});
-    }
-  }
-  return out;
+  return detail::resolve_view(f,
+                              {cfg_.model, cfg_.eventual_propagation, injector_},
+                              r, now, session_open, off, count);
 }
 
 std::vector<ReadExtent> Pfs::strong_view(const std::string& path, Offset off,
                                          std::uint64_t count) const {
   auto f = lookup(path);
   require(f != nullptr, "strong_view: no such file");
-  const Extent range{off, off + count};
-  std::map<Offset, Seg> m;
-  m.emplace(range.begin, Seg{range.end, 0, kNoRank});
-  // Writes are stored in write order; later writes overwrite earlier ones.
-  for (const auto& w : f->writes) {
-    if (w.ext.overlaps(range)) assign(m, w.ext.intersect(range), w.id, w.writer);
-  }
-  std::vector<ReadExtent> out;
-  for (const auto& [begin, seg] : m) {
-    if (!out.empty() && out.back().version == seg.v &&
-        out.back().writer == seg.w && out.back().ext.end == begin) {
-      out.back().ext.end = seg.end;
-    } else {
-      out.push_back({{begin, seg.end}, seg.v, seg.w});
-    }
-  }
-  return out;
+  return detail::strong_view_of(*f, off, count);
 }
 
 std::vector<VersionTag> Pfs::crash_rank(Rank r, SimTime now) {
-  // Durability at the crash instant mirrors the visibility rules of
-  // resolve(): strong writes hit stable storage synchronously; commit
-  // writes survive iff fsync'd/closed; session writes iff published by a
-  // close; eventual writes iff their propagation (plus any spike) has
-  // elapsed. Laminated files are globally published and always survive.
-  auto durable = [&](const WriteRecord& w) {
-    switch (cfg_.model) {
-      case ConsistencyModel::Strong: return true;
-      case ConsistencyModel::Commit:
-        return w.t_commit != kTimeNever && w.t_commit <= now;
-      case ConsistencyModel::Session:
-        return w.t_publish != kTimeNever && w.t_publish <= now;
-      case ConsistencyModel::Eventual: {
-        SimTime key = w.t_write + cfg_.eventual_propagation;
-        if (injector_ != nullptr) key += injector_->visibility_extra(w.t_write);
-        return key <= now;
-      }
-    }
-    return true;
-  };
-  std::vector<VersionTag> lost;
-  for (auto& f : files_) {
-    if (!f) continue;
-    if (!f->laminated) {
-      const std::size_t before = f->writes.size();
-      std::erase_if(f->writes, [&](const WriteRecord& w) {
-        if (w.writer != r || durable(w)) return false;
-        lost.push_back(w.id);
-        return true;
-      });
-      if (f->writes.size() != before) {
-        f->rebuild_index();
-        Offset size = 0;
-        for (const auto& w : f->writes) size = std::max(size, w.ext.end);
-        f->size = size;
-      }
-    }
-    for (auto& [blk, lock] : f->locks) lock.holders.erase(r);
-  }
+  std::vector<VersionTag> lost = detail::apply_rank_crash(
+      files_, r, now, {cfg_.model, cfg_.eventual_propagation, injector_});
   // Drop the rank's descriptors *without* the close-time commit/publish —
   // a crashed process never reaches close().
   std::erase_if(open_files_,
                 [&](const auto& kv) { return kv.first.first == r; });
-  std::sort(lost.begin(), lost.end());
   return lost;
 }
 

@@ -112,6 +112,29 @@ TEST(CaptureDiff, TransientFaultsReplayIdenticallyAcrossCapturePaths) {
   ASSERT_EQ(report_text(fast), report_text(ref));
 }
 
+TEST(CaptureDiff, ClusterMdsFailoverReplaysIdenticallyAcrossCapturePaths) {
+  // Server fault domains on the multi-server backend: an MDS crash plus
+  // standby failover (with its EHOSTDOWN redirect and backoff) must
+  // replay byte-identically on both capture paths, for every registered
+  // application.
+  apps::FaultSetup setup;
+  setup.plan = fault::FaultPlan::parse("crash_mds:id=0,t=1ms");
+  setup.seed = 7;
+  vfs::ClusterConfig ccfg;
+  ccfg.mds_count = 2;
+  ccfg.ost_count = 4;
+  for (const auto& info : apps::registry()) {
+    fault::FaultStats stats;
+    const auto fast = apps::run_app_cluster(info, fast_cfg(8), ccfg, {},
+                                            &setup, &stats);
+    const auto ref =
+        apps::run_app_cluster(info, reference_cfg(8), ccfg, {}, &setup);
+    ASSERT_EQ(compact_bytes(fast), compact_bytes(ref)) << info.name;
+    ASSERT_EQ(report_text(fast), report_text(ref)) << info.name;
+    ASSERT_EQ(stats.server_crashes, 1u) << info.name;
+  }
+}
+
 TEST(CaptureDiff, CrashMidBucketLeavesIdenticalSurvivingTrace) {
   // A fail-stop crash kills rank 3 mid-run (TaskKilled propagates out of a
   // delay(0) cohort inside the write loop). The workload has no

@@ -7,6 +7,7 @@
 
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "pfsem/apps/registry.hpp"
@@ -59,6 +60,71 @@ TEST(FaultPlan, ParsesEveryClauseKind) {
   EXPECT_EQ(plan.crashes[0].rank, 3);
   EXPECT_EQ(plan.crashes[0].t, 2'000'000);
   EXPECT_EQ(plan.crashes[1].node, 1);
+}
+
+TEST(FaultPlan, ParsesServerAndPartitionClauses) {
+  const auto plan = FaultPlan::parse(
+      "crash_mds:id=1,t=2ms; crash_ost:id=0,t=3ms;"
+      "restart_server:mds=1,t=8ms; restart_server:ost=0,t=9ms;"
+      "partition:ranks=0-3,from=1ms,to=6ms");
+  ASSERT_EQ(plan.server_events.size(), 4u);
+  EXPECT_EQ(plan.server_events[0].kind, fault::ServerKind::Mds);
+  EXPECT_EQ(plan.server_events[0].id, 1);
+  EXPECT_EQ(plan.server_events[0].t, 2'000'000);
+  EXPECT_FALSE(plan.server_events[0].restart);
+  EXPECT_EQ(plan.server_events[1].kind, fault::ServerKind::Ost);
+  EXPECT_TRUE(plan.server_events[2].restart);
+  EXPECT_EQ(plan.server_events[3].kind, fault::ServerKind::Ost);
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0].lo, 0);
+  EXPECT_EQ(plan.partitions[0].hi, 3);
+  EXPECT_EQ(plan.partitions[0].from, 1'000'000);
+  EXPECT_EQ(plan.partitions[0].to, 6'000'000);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, HardenedParsingRejectsNonsense) {
+  // Negative ranks / server ids.
+  EXPECT_THROW((void)FaultPlan::parse("crash:rank=-1,t=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("crash:node=-2,t=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("crash_mds:id=-1,t=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("crash_ost:id=-3,t=0"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("slow:factor=2,ost=-1,from=0,to=1ms"),
+               Error);
+  // Zero- or negative-duration windows.
+  EXPECT_THROW((void)FaultPlan::parse("slow:factor=2,from=1ms,to=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("slow:factor=2,from=2ms,to=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("vis:extra=1ms,from=5ms,to=5ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("partition:ranks=0-1,from=3ms,to=3ms"),
+               Error);
+  // Malformed server/partition clauses.
+  EXPECT_THROW((void)FaultPlan::parse("crash_mds:t=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("restart_server:t=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("restart_server:mds=0,ost=0,t=1ms"),
+               Error);
+  EXPECT_THROW((void)FaultPlan::parse("partition:from=0,to=1ms"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("partition:ranks=3-1,from=0,to=1ms"),
+               Error);
+}
+
+TEST(FaultPlan, TopologyValidationNamesTheProblem) {
+  const auto plan = FaultPlan::parse("crash_mds:id=2,t=1ms");
+  try {
+    plan.validate_topology(/*mds_count=*/0, /*ost_count=*/0);
+    FAIL() << "server events need a cluster backend";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--mds/--ost"), std::string::npos)
+        << e.what();
+  }
+  try {
+    plan.validate_topology(/*mds_count=*/2, /*ost_count=*/4);
+    FAIL() << "id 2 is out of range for 2 metadata servers";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+  // In range: no throw.
+  plan.validate_topology(/*mds_count=*/3, /*ost_count=*/1);
 }
 
 TEST(FaultPlan, EmptySpecIsEmptyPlan) {
@@ -379,6 +445,49 @@ TEST(Determinism, ParallelAnalysisOfFaultyRunsMatchesSequential) {
          << c.under_commit << c.under_session << '\n';
     }
     return os.str();
+  };
+  const auto seq = fingerprint(1);
+  EXPECT_EQ(fingerprint(2), seq);
+  EXPECT_EQ(fingerprint(4), seq);
+}
+
+TEST(Determinism, ClusterMdsFailoverReproducesBitIdenticallyAcrossThreads) {
+  // MDS crash + standby failover on the multi-server backend: the same
+  // plan and seed must reproduce bit-identical bundles, and the analysis
+  // must be thread-count-invariant on the degraded trace.
+  const auto* info = apps::find_app("FLASH-fbs");
+  ASSERT_NE(info, nullptr);
+  apps::FaultSetup setup;
+  setup.plan = FaultPlan::parse("crash_mds:id=0,t=1ms");
+  setup.seed = 7;
+  vfs::ClusterConfig ccfg;
+  ccfg.mds_count = 2;
+  ccfg.ost_count = 4;
+
+  auto once = [&] {
+    fault::FaultStats stats;
+    const auto bundle =
+        apps::run_app_cluster(*info, small_cfg(), ccfg, {}, &setup, &stats);
+    std::ostringstream os;
+    trace::write_binary(bundle, os);
+    return std::tuple{os.str(), stats, signature_of(bundle, 8)};
+  };
+  const auto [trace_a, stats_a, sig_a] = once();
+  const auto [trace_b, stats_b, sig_b] = once();
+  ASSERT_EQ(stats_a.mds_failovers, 1u) << "the failover must actually happen";
+  EXPECT_EQ(trace_a, trace_b) << "failover replay must be bit-identical";
+  EXPECT_EQ(stats_a, stats_b);
+  EXPECT_EQ(sig_a, sig_b);
+
+  fault::FaultStats stats;
+  const auto bundle =
+      apps::run_app_cluster(*info, small_cfg(), ccfg, {}, &setup, &stats);
+  const auto log = core::reconstruct_accesses(bundle);
+  auto fingerprint = [&](int threads) {
+    const auto pairs = core::detect_file_overlaps(log, {}, threads);
+    const auto rep = core::detect_conflicts(log, pairs, {.threads = threads});
+    return std::tuple{rep.potential_pairs, rep.session.count,
+                      rep.commit.count};
   };
   const auto seq = fingerprint(1);
   EXPECT_EQ(fingerprint(2), seq);

@@ -50,6 +50,33 @@ TEST(Record, NamesRoundTrip) {
   EXPECT_EQ(to_string(Layer::Hdf5), "HDF5");
 }
 
+TEST(PathTable, AliasSharesTheSlotWithoutGrowingTheTable) {
+  PathTable t;
+  const FileId a = t.intern("old-name");
+  EXPECT_EQ(t.alias("new-name", a), a);
+  EXPECT_EQ(t.size(), 1u) << "an alias must not mint a new slot";
+  EXPECT_EQ(t.find("new-name"), a);
+  EXPECT_EQ(t.view(a), "old-name") << "the dense table keeps the first name";
+  // Interning the alias later resolves to the existing id.
+  EXPECT_EQ(t.intern("new-name"), a);
+  // Aliasing an already-interned name is a no-op returning its own id.
+  const FileId b = t.intern("other");
+  EXPECT_EQ(t.alias("other", a), b);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Collector, InternRenameKeepsOneFileIdentity) {
+  Collector c(1);
+  const FileId before = c.intern("ckpt.tmp");
+  const FileId renamed = c.intern_rename("ckpt.tmp", "ckpt");
+  EXPECT_EQ(renamed, before) << "the rename record rides the source's id";
+  // A later open of the new name continues the same file's history.
+  EXPECT_EQ(c.intern("ckpt"), before);
+  const auto bundle = c.take();
+  EXPECT_EQ(bundle.paths.size(), 1u)
+      << "no composite 'from -> to' slot, no slot for the new name";
+}
+
 TEST(Collector, AppliesPerRankClockSkew) {
   std::vector<sim::ClockModel> clocks(2);
   clocks[1].offset = 5000;
