@@ -1,10 +1,41 @@
 #!/bin/sh
 # Regenerate BENCH_perf.json at the repository root. Run from anywhere;
 # builds the harness if needed. See docs/performance.md for the format.
+#
+#   run_perf.sh [--require-clean] [extra bench_perf_scaling args...]
+#
+# A dirty tree taints the numbers (the JSON's git_sha no longer names the
+# code that produced them), so it is warned about loudly; --require-clean
+# turns the warning into a hard failure (CI uses this so published
+# numbers are always reproducible from the recorded SHA). All other
+# arguments pass through to bench_perf_scaling — e.g. --check for the
+# small-size correctness run, or --scale64k for the 65536-rank
+# streaming-only point.
 set -e
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+require_clean=0
+for arg in "$@"; do
+  case "$arg" in
+    --require-clean) require_clean=1 ;;
+  esac
+done
+# Strip --require-clean from what we forward to the harness.
+set -- $(for arg in "$@"; do [ "$arg" = "--require-clean" ] || printf '%s ' "$arg"; done)
+
 sha=$(git -C "$root" rev-parse --short HEAD 2> /dev/null || echo unknown)
 if ! git -C "$root" diff --quiet HEAD 2> /dev/null; then
+  if [ "$require_clean" = 1 ]; then
+    echo "run_perf.sh: FATAL: working tree is dirty and --require-clean" >&2
+    echo "run_perf.sh: was given; commit or stash before benchmarking." >&2
+    exit 1
+  fi
+  echo "==================================================================" >&2
+  echo "run_perf.sh: WARNING: working tree is DIRTY — the recorded git_sha" >&2
+  echo "run_perf.sh: ($sha-dirty) does not name the code being measured." >&2
+  echo "run_perf.sh: Numbers produced now are NOT reproducible; do not" >&2
+  echo "run_perf.sh: commit them. Pass --require-clean to make this fatal." >&2
+  echo "==================================================================" >&2
   sha="$sha-dirty"
 fi
 # Stamp the run so numbers from different machines/dates are never
@@ -15,4 +46,4 @@ cmake -S "$root" -B "$root/build" > /dev/null
 cmake --build "$root/build" --target bench_perf_scaling -j > /dev/null
 exec "$root/build/bench/bench_perf_scaling" \
   --out "$root/BENCH_perf.json" --sha "$sha" \
-  --timestamp "$stamp" --host "$host"
+  --timestamp "$stamp" --host "$host" "$@"

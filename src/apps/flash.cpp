@@ -15,6 +15,8 @@
 // region under session semantics, cleared by the fsync under commit
 // semantics (Section 6.3, Table 4).
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,22 +52,34 @@ void run_flash(Harness& h, bool fbs) {
 
   h.preload("flash.par", 4096);
 
-  // Per-rank chunk table for one dataset: fbs = equal chunks; nofbs =
-  // irregular chunk sizes (dynamic blocks), identical on every rank.
-  auto chunk_table = [&](int checkpoint, int dataset) {
-    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(cfg.nranks));
-    std::uint64_t total = 0;
-    for (Rank r = 0; r < cfg.nranks; ++r) {
+  // Per-rank chunk tables (fbs = equal chunks; nofbs = irregular dynamic
+  // blocks, identical on every rank), precomputed once per dataset as a
+  // prefix-sum so each rank reads its offset and size in O(1). The naive
+  // form — every rank rebuilding the table and summing ranks [0, r) —
+  // is O(nranks^2) per dataset and dominates capture beyond ~4K ranks.
+  const int ncheckpoints = cfg.steps / cfg.checkpoint_every;
+  // prefix[c][d] has nranks+1 entries; rank r's chunk is
+  // [prefix[r], prefix[r+1]) within the dataset.
+  std::vector<std::vector<std::vector<std::uint64_t>>> prefix(
+      static_cast<std::size_t>(std::max(ncheckpoints, 0)));
+  for (int c = 0; c < ncheckpoints; ++c) {
+    auto& per_dataset = prefix[static_cast<std::size_t>(c)];
+    per_dataset.resize(kDatasetsPerCheckpoint);
+    for (int d = 0; d < kDatasetsPerCheckpoint; ++d) {
+      auto& p = per_dataset[static_cast<std::size_t>(d)];
+      p.resize(static_cast<std::size_t>(cfg.nranks) + 1);
+      p[0] = 0;
       const std::uint64_t base = cfg.bytes_per_rank / kDatasetsPerCheckpoint;
-      sizes[static_cast<std::size_t>(r)] =
-          fbs ? base
-              : h.shaped(static_cast<std::uint64_t>(checkpoint) * 131 +
-                             static_cast<std::uint64_t>(dataset),
-                         r, base / 2, base * 2);
-      total += sizes[static_cast<std::size_t>(r)];
+      for (Rank r = 0; r < cfg.nranks; ++r) {
+        const std::uint64_t size =
+            fbs ? base
+                : h.shaped(static_cast<std::uint64_t>(c) * 131 +
+                               static_cast<std::uint64_t>(d),
+                           r, base / 2, base * 2);
+        p[static_cast<std::size_t>(r) + 1] = p[static_cast<std::size_t>(r)] + size;
+      }
     }
-    return std::pair{sizes, total};
-  };
+  }
 
   h.run([&](Rank r) -> sim::Task<void> {
     // Initialization: rank 0 reads the parameter deck, broadcasts it.
@@ -87,13 +101,15 @@ void run_flash(Harness& h, bool fbs) {
           "flash_hdf5_chk_" + std::to_string(1000 + checkpoint);
       auto* f = co_await h5.create(r, chk, h.world().all());
       for (int d = 0; d < kDatasetsPerCheckpoint; ++d) {
-        const auto [sizes, total] = chunk_table(checkpoint, d);
+        const auto& p = prefix[static_cast<std::size_t>(checkpoint)]
+                              [static_cast<std::size_t>(d)];
         const std::string name = "var" + std::to_string(d);
-        co_await h5.dataset_create(r, f, name, total);
-        Offset off = 0;
-        for (Rank q = 0; q < r; ++q) off += sizes[static_cast<std::size_t>(q)];
+        co_await h5.dataset_create(r, f, name, p[p.size() - 1]);
+        const auto off =
+            static_cast<Offset>(p[static_cast<std::size_t>(r)]);
         co_await h5.dataset_write(r, f, name, off,
-                                  sizes[static_cast<std::size_t>(r)]);
+                                  p[static_cast<std::size_t>(r) + 1] -
+                                      p[static_cast<std::size_t>(r)]);
       }
       co_await h5.close(r, f);
 

@@ -73,4 +73,23 @@ struct FaultSetup {
     const FaultSetup* faults = nullptr,
     fault::FaultStats* stats_out = nullptr);
 
+/// Streaming counterpart of run_app: records stream into `sink` in
+/// chunks of cfg.stream_chunk_records as the run progresses, and only
+/// the StreamMeta comes back — the harness (and the simulated fs) is
+/// destroyed before the caller analyzes, so capture memory and analysis
+/// memory never coexist. The caller finishes the sink afterwards
+/// (ChunkWriter::finish(meta) for the spill framing).
+[[nodiscard]] trace::StreamMeta run_app_stream(
+    const AppInfo& info, trace::StreamSink& sink, AppConfig cfg = {},
+    vfs::PfsConfig pfs_cfg = {}, std::vector<sim::ClockModel> clocks = {},
+    const FaultSetup* faults = nullptr,
+    fault::FaultStats* stats_out = nullptr);
+
+/// run_app_stream against a multi-server PfsCluster backend.
+[[nodiscard]] trace::StreamMeta run_app_cluster_stream(
+    const AppInfo& info, trace::StreamSink& sink, AppConfig cfg,
+    vfs::ClusterConfig cluster_cfg, std::vector<sim::ClockModel> clocks = {},
+    const FaultSetup* faults = nullptr,
+    fault::FaultStats* stats_out = nullptr);
+
 }  // namespace pfsem::apps

@@ -158,9 +158,8 @@ const AppInfo* find_app(std::string_view name) {
 
 namespace {
 
-trace::TraceBundle run_on(Harness& h, const AppInfo& info,
-                          const FaultSetup* faults,
-                          fault::FaultStats* stats_out) {
+void arm_and_run(Harness& h, const AppInfo& info, const FaultSetup* faults,
+                 fault::FaultStats* stats_out) {
   if (faults != nullptr) {
     h.set_faults(faults->plan, faults->seed);
     h.set_retry_policy(faults->retry);
@@ -170,6 +169,12 @@ trace::TraceBundle run_on(Harness& h, const AppInfo& info,
     *stats_out = h.injector() != nullptr ? h.injector()->stats()
                                          : fault::FaultStats{};
   }
+}
+
+trace::TraceBundle run_on(Harness& h, const AppInfo& info,
+                          const FaultSetup* faults,
+                          fault::FaultStats* stats_out) {
+  arm_and_run(h, info, faults, stats_out);
   return h.finish();
 }
 
@@ -191,6 +196,29 @@ trace::TraceBundle run_app_cluster(const AppInfo& info, AppConfig cfg,
                                    fault::FaultStats* stats_out) {
   Harness h(cfg, cluster_cfg, std::move(clocks));
   return run_on(h, info, faults, stats_out);
+}
+
+trace::StreamMeta run_app_stream(const AppInfo& info, trace::StreamSink& sink,
+                                 AppConfig cfg, vfs::PfsConfig pfs_cfg,
+                                 std::vector<sim::ClockModel> clocks,
+                                 const FaultSetup* faults,
+                                 fault::FaultStats* stats_out) {
+  cfg.stream_sink = &sink;
+  Harness h(cfg, pfs_cfg, std::move(clocks));
+  arm_and_run(h, info, faults, stats_out);
+  return h.finish_stream();
+}
+
+trace::StreamMeta run_app_cluster_stream(const AppInfo& info,
+                                         trace::StreamSink& sink, AppConfig cfg,
+                                         vfs::ClusterConfig cluster_cfg,
+                                         std::vector<sim::ClockModel> clocks,
+                                         const FaultSetup* faults,
+                                         fault::FaultStats* stats_out) {
+  cfg.stream_sink = &sink;
+  Harness h(cfg, cluster_cfg, std::move(clocks));
+  arm_and_run(h, info, faults, stats_out);
+  return h.finish_stream();
 }
 
 }  // namespace pfsem::apps

@@ -71,6 +71,21 @@ struct DegradedSummary {
   }
 };
 
+/// Partial record counters over any slice of the trace; merging partials
+/// in any order gives the sequential totals (all fields are sums or
+/// min/max), so both the chunked parallel scan of build_report and the
+/// one-record-at-a-time streaming feed produce identical values.
+struct RecordStats {
+  std::map<trace::Func, std::uint64_t> function_counts;
+  std::map<trace::Layer, std::uint64_t> layer_counts;
+  SizeHistogram read_sizes;
+  SizeHistogram write_sizes;
+  SimTime lo = kTimeNever, hi = 0;
+
+  void feed(const trace::Record& rec);
+  void merge(const RecordStats& p);
+};
+
 struct RunReport {
   int nranks = 0;
   std::uint64_t records = 0;
@@ -101,6 +116,18 @@ struct RunReport {
                                      const AccessLog& log,
                                      const ConflictReport& conflicts,
                                      int threads = 1);
+
+/// The record-independent second half of build_report: given finished
+/// record counters (however they were accumulated — chunked scan or
+/// streaming feed), derive the per-file summaries, conflict counts, and
+/// pattern classifications. build_report is a record scan plus this; the
+/// streaming pipeline calls it directly, so both paths render identical
+/// reports from identical inputs.
+[[nodiscard]] RunReport assemble_report(RecordStats stats,
+                                        std::uint64_t records, int nranks,
+                                        const AccessLog& log,
+                                        const ConflictReport& conflicts,
+                                        int threads = 1);
 
 /// Render as human-readable text.
 void print_report(const RunReport& report, std::ostream& os);

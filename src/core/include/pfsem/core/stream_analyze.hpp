@@ -1,0 +1,110 @@
+#pragma once
+// Streaming reconstruction: consume a run's records in global emission
+// (seq) order — replayed from a collector spill (trace/spill.hpp) or a
+// compact trace stream — and build the same AccessLog and record
+// counters the materialized pipeline derives from a full TraceBundle,
+// without the bundle ever existing.
+//
+// The materialized pipeline stable-sorts Posix records by tstart before
+// replaying them (offset_tracker.cpp); emission order is completion
+// order, so a record can arrive after one with a later tstart. A reorder
+// buffer restores the exact (tstart, emission-index) processing order:
+// within one rank, Posix operations are sequential and non-overlapping,
+// so each rank's Posix tstarts arrive monotonically. Once every rank
+// still owing Posix records has advanced past time F (the release
+// frontier), no future Posix record can start before F and everything
+// buffered up to F replays through the shared OffsetStepper. Ranks whose
+// remaining-record budget (StreamMeta::rank_posix_counts) hits zero stop
+// pinning the frontier, so compute-only ranks and M:1 writer sets cost
+// nothing; without budgets (unknown counts) the buffer degrades
+// gracefully — it grows toward the Posix record count, never past it —
+// and drains at finish().
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "pfsem/core/access.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/core/report.hpp"
+#include "pfsem/trace/path_table.hpp"
+#include "pfsem/trace/record.hpp"
+
+namespace pfsem::core {
+
+namespace detail {
+class OffsetStepper;
+}
+
+class StreamAnalyzer {
+ public:
+  struct Result {
+    AccessLog log;
+    RecordStats stats;
+    std::uint64_t records = 0;  ///< all layers, not just Posix
+  };
+
+  /// `paths` is the run's final intern table (streaming analysis is the
+  /// post-capture phase of a spilled run, so the table is complete);
+  /// `rank_posix_counts` the per-rank Posix record totals (empty =
+  /// unknown, see file comment); `hints` the optional per-FileId op
+  /// counts used to pre-size access columns.
+  StreamAnalyzer(int nranks, trace::PathTable paths,
+                 std::vector<std::uint64_t> rank_posix_counts = {},
+                 const std::vector<std::uint32_t>& hints = {},
+                 OffsetTrackerOptions opts = {});
+  ~StreamAnalyzer();
+  StreamAnalyzer(const StreamAnalyzer&) = delete;
+  StreamAnalyzer& operator=(const StreamAnalyzer&) = delete;
+
+  /// Feed the next record in emission order (its seq is implicit: the
+  /// number of records fed before it).
+  void feed(const trace::Record& rec);
+
+  /// Drain the reorder buffer, annotate, and hand over the results.
+  [[nodiscard]] Result finish();
+
+  /// Reorder-buffer high-water mark (records buffered at once) — the
+  /// streaming analyzer's only run-length-dependent memory besides the
+  /// log itself; tests assert it stays small when budgets are known.
+  [[nodiscard]] std::size_t peak_buffered() const { return peak_buffered_; }
+
+ private:
+  struct Pending {
+    SimTime tstart = 0;
+    std::uint64_t seq = 0;
+    trace::Record rec;
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.tstart != b.tstart ? a.tstart > b.tstart : a.seq > b.seq;
+    }
+  };
+  struct FrontierEntry {
+    SimTime t = 0;
+    Rank rank = kNoRank;
+    bool operator>(const FrontierEntry& o) const { return t > o.t; }
+  };
+
+  void release_ready();
+
+  Result out_;
+  std::unique_ptr<detail::OffsetStepper> stepper_;
+  std::priority_queue<Pending, std::vector<Pending>, Later> buffer_;
+  /// Lazy-deletion min-heap over (last Posix tstart, rank): the top
+  /// non-stale, non-retired entry is the release frontier.
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                      std::greater<>>
+      frontier_;
+  std::vector<SimTime> last_tstart_;
+  std::vector<std::uint64_t> remaining_;  ///< Posix records still owed
+  std::vector<char> seen_;
+  /// Ranks owing Posix records that have not emitted one yet — their
+  /// bound is unknown, so no release while any remain.
+  int unseen_active_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t peak_buffered_ = 0;
+};
+
+}  // namespace pfsem::core

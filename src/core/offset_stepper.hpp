@@ -1,0 +1,164 @@
+#pragma once
+// Incremental core of offset reconstruction (private to pfsem_core).
+//
+// OffsetStepper replays Posix records one at a time — in (tstart,
+// emission-index) order — against the per-fd / per-file state machine of
+// Section 5.1; annotate_accesses is the (t_open, t_commit, t_close) pass
+// of Section 5.2. Extracted from reconstruct_accesses so the one-shot
+// bundle path (offset_tracker.cpp) and the streaming analyzer
+// (stream_analyze.cpp) run the *same* transition code on the same order —
+// identical AccessLogs by construction, which is what the streaming
+// differential tests pin down.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pfsem/core/access.hpp"
+#include "pfsem/core/offset_tracker.hpp"
+#include "pfsem/trace/record.hpp"
+#include "pfsem/util/error.hpp"
+
+namespace pfsem::core::detail {
+
+class OffsetStepper {
+ public:
+  /// `log` must already carry its final path table (files sized to it);
+  /// the stepper appends accesses/opens/commits/closes as records arrive.
+  OffsetStepper(AccessLog& log, OffsetTrackerOptions opts)
+      : log_(log), opts_(opts), sizes_(log.paths.size(), 0) {}
+
+  /// Replay one Posix record; `index` is its global emission index (the
+  /// tie-break key of the processing order, recorded on each Access).
+  void step(const trace::Record& rec, std::size_t index) {
+    using trace::Func;
+    const std::pair<Rank, int> key{rec.rank, rec.fd};
+    switch (rec.func) {
+      case Func::open: {
+        require(rec.ret >= 0, "trace contains failed open");
+        require(rec.file != kNoFile, "open record without a path");
+        FdState st;
+        st.file = rec.file;
+        st.flags = rec.flags;
+        if (rec.flags & trace::kTrunc) sizes_[st.file] = 0;
+        st.offset = 0;
+        fds_[{rec.rank, static_cast<int>(rec.ret)}] = st;
+        log_.file(rec.file).opens[rec.rank].push_back(rec.tstart);
+        break;
+      }
+      case Func::close: {
+        auto it = fds_.find(key);
+        if (it != fds_.end()) {
+          auto& fl = log_.file(it->second.file);
+          fl.closes[rec.rank].push_back(rec.tstart);
+          fl.commits[rec.rank].push_back(rec.tstart);
+          fds_.erase(it);
+        }
+        break;
+      }
+      case Func::read:
+      case Func::write: {
+        auto it = fds_.find(key);
+        require(it != fds_.end(), "read/write on unknown fd in trace");
+        FdState& st = it->second;
+        const bool is_write = rec.func == Func::write;
+        Offset off = st.offset;
+        if (is_write && (st.flags & trace::kAppend)) off = sizes_[st.file];
+        const auto len = static_cast<std::uint64_t>(rec.ret);
+        add_access(rec, index, st.file, off, len,
+                   is_write ? AccessType::Write : AccessType::Read);
+        st.offset = off + len;
+        break;
+      }
+      case Func::pread:
+      case Func::pwrite: {
+        auto it = fds_.find(key);
+        require(it != fds_.end(), "pread/pwrite on unknown fd in trace");
+        add_access(rec, index, it->second.file, rec.offset,
+                   static_cast<std::uint64_t>(rec.ret),
+                   rec.func == Func::pwrite ? AccessType::Write
+                                            : AccessType::Read);
+        break;
+      }
+      case Func::lseek: {
+        auto it = fds_.find(key);
+        require(it != fds_.end(), "lseek on unknown fd in trace");
+        FdState& st = it->second;
+        const auto delta = static_cast<std::int64_t>(rec.offset);
+        std::int64_t base = 0;
+        switch (rec.flags) {
+          case trace::kSeekSet: base = 0; break;
+          case trace::kSeekCur:
+            base = static_cast<std::int64_t>(st.offset);
+            break;
+          case trace::kSeekEnd:
+            base = static_cast<std::int64_t>(sizes_[st.file]);
+            break;
+          default: require(false, "bad whence in trace");
+        }
+        st.offset = static_cast<Offset>(base + delta);
+        break;
+      }
+      case Func::fsync:
+      case Func::fdatasync: {
+        auto it = fds_.find(key);
+        require(it != fds_.end(), "fsync on unknown fd in trace");
+        log_.file(it->second.file).commits[rec.rank].push_back(rec.tstart);
+        break;
+      }
+      case Func::ftruncate: {
+        auto it = fds_.find(key);
+        if (it != fds_.end()) sizes_[it->second.file] = rec.offset;
+        break;
+      }
+      default:
+        break;  // metadata/utility ops don't contribute byte accesses
+    }
+  }
+
+ private:
+  struct FdState {
+    FileId file = kNoFile;
+    Offset offset = 0;
+    int flags = 0;
+  };
+
+  void add_access(const trace::Record& rec, std::size_t index, FileId f,
+                  Offset off, std::uint64_t len, AccessType type) {
+    using trace::Func;
+    if (len == 0) return;
+    Access a;
+    a.t = rec.tstart;
+    a.rank = rec.rank;
+    a.ext = {off, off + len};
+    a.type = type;
+    a.record_index = index;
+    log_.file(f).accesses.push_back(a);
+    if (type == AccessType::Write) {
+      Offset& size = sizes_[f];
+      size = std::max(size, a.ext.end);
+    }
+    if (opts_.validate_against_ground_truth &&
+        (rec.func == Func::read || rec.func == Func::write ||
+         rec.func == Func::pread || rec.func == Func::pwrite)) {
+      require(off == rec.offset,
+              "offset reconstruction mismatch on " +
+                  std::string(log_.paths.view(f)) + ": got " +
+                  std::to_string(off) + ", truth " +
+                  std::to_string(rec.offset));
+    }
+  }
+
+  AccessLog& log_;
+  OffsetTrackerOptions opts_;
+  std::map<std::pair<Rank, int>, FdState> fds_;
+  std::vector<Offset> sizes_;  // up-to-date size per file
+};
+
+/// Annotate every access with (t_open, t_commit, t_close) per Section
+/// 5.2. Defined in offset_tracker.cpp.
+void annotate_accesses(AccessLog& log);
+
+}  // namespace pfsem::core::detail

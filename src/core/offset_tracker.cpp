@@ -1,26 +1,41 @@
 #include "pfsem/core/offset_tracker.hpp"
 
 #include <algorithm>
-#include <string>
 
-#include "pfsem/util/error.hpp"
+#include "offset_stepper.hpp"
 
 namespace pfsem::core {
 
-namespace {
+namespace detail {
 
-struct FdState {
-  FileId file = kNoFile;
-  Offset offset = 0;
-  int flags = 0;
-};
+void annotate_accesses(AccessLog& log) {
+  for (auto& fl : log.files) {
+    for (auto& [rank, v] : fl.opens) std::sort(v.begin(), v.end());
+    for (auto& [rank, v] : fl.closes) std::sort(v.begin(), v.end());
+    for (auto& [rank, v] : fl.commits) std::sort(v.begin(), v.end());
+    std::stable_sort(fl.accesses.begin(), fl.accesses.end(),
+                     [](const Access& a, const Access& b) { return a.t < b.t; });
+    for (auto& a : fl.accesses) {
+      if (auto it = fl.opens.find(a.rank); it != fl.opens.end()) {
+        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
+        a.t_open = ub == it->second.begin() ? 0 : *std::prev(ub);
+      }
+      auto first_after = [&](const std::map<Rank, std::vector<SimTime>>& m) {
+        auto it = m.find(a.rank);
+        if (it == m.end()) return kTimeNever;
+        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
+        return ub == it->second.end() ? kTimeNever : *ub;
+      };
+      a.t_commit = first_after(fl.commits);
+      a.t_close = first_after(fl.closes);
+    }
+  }
+}
 
-}  // namespace
+}  // namespace detail
 
 AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
                                OffsetTrackerOptions opts) {
-  using trace::Func;
-
   // Sort POSIX records by (local) timestamp, the order the paper uses.
   std::vector<std::size_t> order;
   order.reserve(bundle.records.size());
@@ -50,139 +65,10 @@ AccessLog reconstruct_accesses(const trace::TraceBundle& bundle,
       }
     }
   }
-  std::map<std::pair<Rank, int>, FdState> fds;
-  std::vector<Offset> sizes(log.paths.size(), 0);  // up-to-date size per file
 
-  auto add_access = [&](const trace::Record& rec, std::size_t index, FileId f,
-                        Offset off, std::uint64_t len, AccessType type) {
-    if (len == 0) return;
-    Access a;
-    a.t = rec.tstart;
-    a.rank = rec.rank;
-    a.ext = {off, off + len};
-    a.type = type;
-    a.record_index = index;
-    log.file(f).accesses.push_back(a);
-    if (type == AccessType::Write) {
-      Offset& size = sizes[f];
-      size = std::max(size, a.ext.end);
-    }
-    if (opts.validate_against_ground_truth &&
-        (rec.func == Func::read || rec.func == Func::write ||
-         rec.func == Func::pread || rec.func == Func::pwrite)) {
-      require(off == rec.offset,
-              "offset reconstruction mismatch on " +
-                  std::string(log.paths.view(f)) + ": got " +
-                  std::to_string(off) + ", truth " + std::to_string(rec.offset));
-    }
-  };
-
-  for (std::size_t index : order) {
-    const trace::Record& rec = bundle.records[index];
-    const std::pair<Rank, int> key{rec.rank, rec.fd};
-    switch (rec.func) {
-      case Func::open: {
-        require(rec.ret >= 0, "trace contains failed open");
-        require(rec.file != kNoFile, "open record without a path");
-        FdState st;
-        st.file = rec.file;
-        st.flags = rec.flags;
-        if (rec.flags & trace::kTrunc) sizes[st.file] = 0;
-        st.offset = 0;
-        fds[{rec.rank, static_cast<int>(rec.ret)}] = st;
-        log.file(rec.file).opens[rec.rank].push_back(rec.tstart);
-        break;
-      }
-      case Func::close: {
-        auto it = fds.find(key);
-        if (it != fds.end()) {
-          auto& fl = log.file(it->second.file);
-          fl.closes[rec.rank].push_back(rec.tstart);
-          fl.commits[rec.rank].push_back(rec.tstart);
-          fds.erase(it);
-        }
-        break;
-      }
-      case Func::read:
-      case Func::write: {
-        auto it = fds.find(key);
-        require(it != fds.end(), "read/write on unknown fd in trace");
-        FdState& st = it->second;
-        const bool is_write = rec.func == Func::write;
-        Offset off = st.offset;
-        if (is_write && (st.flags & trace::kAppend)) off = sizes[st.file];
-        const auto len = static_cast<std::uint64_t>(rec.ret);
-        add_access(rec, index, st.file, off, len,
-                   is_write ? AccessType::Write : AccessType::Read);
-        st.offset = off + len;
-        break;
-      }
-      case Func::pread:
-      case Func::pwrite: {
-        auto it = fds.find(key);
-        require(it != fds.end(), "pread/pwrite on unknown fd in trace");
-        add_access(rec, index, it->second.file, rec.offset,
-                   static_cast<std::uint64_t>(rec.ret),
-                   rec.func == Func::pwrite ? AccessType::Write
-                                            : AccessType::Read);
-        break;
-      }
-      case Func::lseek: {
-        auto it = fds.find(key);
-        require(it != fds.end(), "lseek on unknown fd in trace");
-        FdState& st = it->second;
-        const auto delta = static_cast<std::int64_t>(rec.offset);
-        std::int64_t base = 0;
-        switch (rec.flags) {
-          case trace::kSeekSet: base = 0; break;
-          case trace::kSeekCur: base = static_cast<std::int64_t>(st.offset); break;
-          case trace::kSeekEnd:
-            base = static_cast<std::int64_t>(sizes[st.file]);
-            break;
-          default: require(false, "bad whence in trace");
-        }
-        st.offset = static_cast<Offset>(base + delta);
-        break;
-      }
-      case Func::fsync:
-      case Func::fdatasync: {
-        auto it = fds.find(key);
-        require(it != fds.end(), "fsync on unknown fd in trace");
-        log.file(it->second.file).commits[rec.rank].push_back(rec.tstart);
-        break;
-      }
-      case Func::ftruncate: {
-        auto it = fds.find(key);
-        if (it != fds.end()) sizes[it->second.file] = rec.offset;
-        break;
-      }
-      default:
-        break;  // metadata/utility ops don't contribute byte accesses
-    }
-  }
-
-  // Annotate every access with (t_open, t_commit, t_close) per Section 5.2.
-  for (auto& fl : log.files) {
-    for (auto& [rank, v] : fl.opens) std::sort(v.begin(), v.end());
-    for (auto& [rank, v] : fl.closes) std::sort(v.begin(), v.end());
-    for (auto& [rank, v] : fl.commits) std::sort(v.begin(), v.end());
-    std::stable_sort(fl.accesses.begin(), fl.accesses.end(),
-                     [](const Access& a, const Access& b) { return a.t < b.t; });
-    for (auto& a : fl.accesses) {
-      if (auto it = fl.opens.find(a.rank); it != fl.opens.end()) {
-        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
-        a.t_open = ub == it->second.begin() ? 0 : *std::prev(ub);
-      }
-      auto first_after = [&](const std::map<Rank, std::vector<SimTime>>& m) {
-        auto it = m.find(a.rank);
-        if (it == m.end()) return kTimeNever;
-        auto ub = std::upper_bound(it->second.begin(), it->second.end(), a.t);
-        return ub == it->second.end() ? kTimeNever : *ub;
-      };
-      a.t_commit = first_after(fl.commits);
-      a.t_close = first_after(fl.closes);
-    }
-  }
+  detail::OffsetStepper stepper(log, opts);
+  for (std::size_t index : order) stepper.step(bundle.records[index], index);
+  detail::annotate_accesses(log);
   return log;
 }
 

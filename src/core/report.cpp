@@ -37,50 +37,40 @@ std::string SizeHistogram::bucket_label(std::size_t k) {
   return human(1ull << k) + "-" + human(1ull << (k + 1));
 }
 
-namespace {
-
-/// Partial record counters for one chunk of the trace; summing partials
-/// in any order gives the sequential totals (all fields are sums or
-/// min/max), so the chunked scan is deterministic by construction.
-struct RecordStats {
-  std::map<trace::Func, std::uint64_t> function_counts;
-  std::map<trace::Layer, std::uint64_t> layer_counts;
-  SizeHistogram read_sizes;
-  SizeHistogram write_sizes;
-  SimTime lo = kTimeNever, hi = 0;
-};
-
-void scan_records(std::span<const trace::Record> records, RecordStats& s) {
-  for (const auto& rec : records) {
-    ++s.function_counts[rec.func];
-    ++s.layer_counts[rec.layer];
-    s.lo = std::min(s.lo, rec.tstart);
-    s.hi = std::max(s.hi, rec.tend);
-    if (rec.layer != trace::Layer::Posix) continue;
-    switch (rec.func) {
-      case trace::Func::read:
-      case trace::Func::pread:
-        s.read_sizes.add(static_cast<std::uint64_t>(rec.ret));
-        break;
-      case trace::Func::write:
-      case trace::Func::pwrite:
-        s.write_sizes.add(static_cast<std::uint64_t>(rec.ret));
-        break;
-      default:
-        break;
-    }
+void RecordStats::feed(const trace::Record& rec) {
+  ++function_counts[rec.func];
+  ++layer_counts[rec.layer];
+  lo = std::min(lo, rec.tstart);
+  hi = std::max(hi, rec.tend);
+  if (rec.layer != trace::Layer::Posix) return;
+  switch (rec.func) {
+    case trace::Func::read:
+    case trace::Func::pread:
+      read_sizes.add(static_cast<std::uint64_t>(rec.ret));
+      break;
+    case trace::Func::write:
+    case trace::Func::pwrite:
+      write_sizes.add(static_cast<std::uint64_t>(rec.ret));
+      break;
+    default:
+      break;
   }
 }
 
-}  // namespace
+void RecordStats::merge(const RecordStats& p) {
+  for (const auto& [f, n] : p.function_counts) function_counts[f] += n;
+  for (const auto& [l, n] : p.layer_counts) layer_counts[l] += n;
+  for (std::size_t k = 0; k < SizeHistogram::kBuckets; ++k) {
+    read_sizes.counts[k] += p.read_sizes.counts[k];
+    write_sizes.counts[k] += p.write_sizes.counts[k];
+  }
+  lo = std::min(lo, p.lo);
+  hi = std::max(hi, p.hi);
+}
 
 RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
                        const ConflictReport& conflicts, int threads) {
-  RunReport rep;
-  rep.nranks = bundle.nranks;
-  rep.records = bundle.records.size();
   const int nthreads = exec::resolve_threads(threads);
-
   const std::size_t chunks = std::min<std::size_t>(
       bundle.records.size(), static_cast<std::size_t>(nthreads) * 4);
   RecordStats stats;
@@ -89,19 +79,23 @@ RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
     exec::parallel_for(nthreads, chunks, [&](std::size_t ch) {
       const std::size_t lo = bundle.records.size() * ch / chunks;
       const std::size_t hi = bundle.records.size() * (ch + 1) / chunks;
-      scan_records(std::span(bundle.records).subspan(lo, hi - lo), parts[ch]);
-    });
-    for (auto& p : parts) {
-      for (const auto& [f, n] : p.function_counts) stats.function_counts[f] += n;
-      for (const auto& [l, n] : p.layer_counts) stats.layer_counts[l] += n;
-      for (std::size_t k = 0; k < SizeHistogram::kBuckets; ++k) {
-        stats.read_sizes.counts[k] += p.read_sizes.counts[k];
-        stats.write_sizes.counts[k] += p.write_sizes.counts[k];
+      for (const auto& rec : std::span(bundle.records).subspan(lo, hi - lo)) {
+        parts[ch].feed(rec);
       }
-      stats.lo = std::min(stats.lo, p.lo);
-      stats.hi = std::max(stats.hi, p.hi);
-    }
+    });
+    for (auto& p : parts) stats.merge(p);
   }
+  return assemble_report(std::move(stats), bundle.records.size(),
+                         bundle.nranks, log, conflicts, threads);
+}
+
+RunReport assemble_report(RecordStats stats, std::uint64_t records,
+                          int nranks, const AccessLog& log,
+                          const ConflictReport& conflicts, int threads) {
+  RunReport rep;
+  rep.nranks = nranks;
+  rep.records = records;
+  const int nthreads = exec::resolve_threads(threads);
   rep.function_counts = std::move(stats.function_counts);
   rep.layer_counts = std::move(stats.layer_counts);
   rep.read_sizes = stats.read_sizes;
@@ -139,7 +133,7 @@ RunReport build_report(const trace::TraceBundle& bundle, const AccessLog& log,
     by_id[c.file]->session_conflicts += c.under_session ? 1 : 0;
     by_id[c.file]->commit_conflicts += c.under_commit ? 1 : 0;
   }
-  rep.pattern = classify_high_level(log, bundle.nranks);
+  rep.pattern = classify_high_level(log, nranks);
   rep.local = local_pattern(log, threads);
   rep.global = global_pattern(log, threads);
   return rep;

@@ -1,0 +1,110 @@
+#include "pfsem/core/stream_analyze.hpp"
+
+#include <algorithm>
+
+#include "offset_stepper.hpp"
+
+namespace pfsem::core {
+
+namespace {
+
+// Sentinel budget for ranks whose Posix totals are unknown: never
+// retires, so the frontier stays conservative.
+constexpr std::uint64_t kUnknownBudget = ~std::uint64_t{0};
+
+}  // namespace
+
+StreamAnalyzer::StreamAnalyzer(int nranks, trace::PathTable paths,
+                               std::vector<std::uint64_t> rank_posix_counts,
+                               const std::vector<std::uint32_t>& hints,
+                               OffsetTrackerOptions opts) {
+  require(nranks > 0, "need at least one rank");
+  require(rank_posix_counts.empty() ||
+              std::ssize(rank_posix_counts) == nranks,
+          "rank posix counts must match rank count");
+  out_.log.nranks = nranks;
+  out_.log.paths = std::move(paths);
+  out_.log.files.resize(out_.log.paths.size());
+  // Same column pre-size as reconstruct_accesses (purely an allocation
+  // hint; the logs are identical with or without it).
+  if (!hints.empty()) {
+    const std::size_t n = std::min(hints.size(), out_.log.files.size());
+    for (std::size_t id = 0; id < n; ++id) {
+      if (hints[id] > 0) out_.log.files[id].accesses.reserve(hints[id]);
+    }
+  }
+  stepper_ = std::make_unique<detail::OffsetStepper>(out_.log, opts);
+
+  const auto n = static_cast<std::size_t>(nranks);
+  last_tstart_.assign(n, 0);
+  seen_.assign(n, 0);
+  if (rank_posix_counts.empty()) {
+    remaining_.assign(n, kUnknownBudget);
+    unseen_active_ = nranks;
+  } else {
+    remaining_ = std::move(rank_posix_counts);
+    unseen_active_ = 0;
+    for (const auto c : remaining_) unseen_active_ += c > 0 ? 1 : 0;
+  }
+}
+
+StreamAnalyzer::~StreamAnalyzer() = default;
+
+void StreamAnalyzer::feed(const trace::Record& rec) {
+  out_.stats.feed(rec);
+  const std::uint64_t seq = next_seq_++;
+  if (rec.layer != trace::Layer::Posix) return;
+  require(rec.rank >= 0 && rec.rank < out_.log.nranks,
+          "record rank out of range in stream");
+  const auto r = static_cast<std::size_t>(rec.rank);
+  require(remaining_[r] > 0, "rank posix count mismatch in stream");
+  if (!seen_[r]) {
+    seen_[r] = 1;
+    --unseen_active_;
+  }
+  last_tstart_[r] = rec.tstart;
+  if (remaining_[r] != kUnknownBudget) --remaining_[r];
+  if (remaining_[r] > 0) frontier_.push({rec.tstart, rec.rank});
+  buffer_.push({rec.tstart, seq, rec});
+  peak_buffered_ = std::max(peak_buffered_, buffer_.size());
+  release_ready();
+}
+
+void StreamAnalyzer::release_ready() {
+  while (!buffer_.empty()) {
+    // Current frontier: smallest last-seen Posix tstart over ranks still
+    // owing records (stale and retired entries are skipped lazily).
+    while (!frontier_.empty()) {
+      const FrontierEntry& top = frontier_.top();
+      const auto r = static_cast<std::size_t>(top.rank);
+      if (remaining_[r] == 0 || top.t != last_tstart_[r]) {
+        frontier_.pop();
+        continue;
+      }
+      break;
+    }
+    if (unseen_active_ > 0) return;  // some owing rank has no bound yet
+    if (!frontier_.empty() && buffer_.top().tstart > frontier_.top().t) {
+      return;
+    }
+    // Releasing at tstart == frontier is safe on ties: any future record
+    // with the same tstart carries a larger seq, and the stable sort the
+    // materialized path runs orders equal tstarts by seq.
+    const Pending& p = buffer_.top();
+    stepper_->step(p.rec, static_cast<std::size_t>(p.seq));
+    buffer_.pop();
+  }
+}
+
+StreamAnalyzer::Result StreamAnalyzer::finish() {
+  while (!buffer_.empty()) {
+    const Pending& p = buffer_.top();
+    stepper_->step(p.rec, static_cast<std::size_t>(p.seq));
+    buffer_.pop();
+  }
+  detail::annotate_accesses(out_.log);
+  out_.records = next_seq_;
+  return std::move(out_);
+}
+
+}  // namespace pfsem::core

@@ -88,7 +88,11 @@ sim::Task<H5File*> Hdf5Lite::create(Rank r, const std::string& path,
     }
   }
   H5File* f = slot.get();
-  require(f->group == group, "H5Fcreate group mismatch across ranks");
+  // O(1) endpoint check; a full compare per joining rank is O(group^2).
+  require(f->group.size() == group.size() &&
+              f->group.front() == group.front() &&
+              f->group.back() == group.back(),
+          "H5Fcreate group mismatch across ranks");
   ++f->open_count;
   // HDF5 existence probe before creating.
   co_await posix_.lstat(r, path);

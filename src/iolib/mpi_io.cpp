@@ -18,9 +18,13 @@ struct MpiFile {
   int open_count = 0;
 
   /// Staging for collective transfers: one generation per *per-rank* call
-  /// index, so ranks at different speeds never mix up epochs.
+  /// index, so ranks at different speeds never mix up epochs. Only the
+  /// hull of the contributions matters downstream, so it is folded in as
+  /// ranks arrive — a per-rank rescan of all contributions would make
+  /// every collective write O(group^2).
   struct Pending {
-    std::map<Rank, Extent> contrib;
+    Offset lo = std::numeric_limits<Offset>::max();
+    Offset hi = 0;
     std::size_t done = 0;
   };
   std::map<std::uint64_t, Pending> pending;
@@ -69,7 +73,12 @@ sim::Task<MpiFile*> MpiIo::open(Rank r, const std::string& path, int flags,
     }
   }
   MpiFile* fh = slot.get();
-  require(fh->group == group, "MPI_File_open group mismatch across ranks");
+  // O(1) endpoint check: a full vector compare per joining rank would be
+  // O(group^2) per open (groups are sorted, so ends pin the extremes).
+  require(fh->group.size() == group.size() &&
+              fh->group.front() == group.front() &&
+              fh->group.back() == group.back(),
+          "MPI_File_open group mismatch across ranks");
   ++fh->open_count;
   // ROMIO stats the file then every rank opens it.
   co_await posix_.stat(r, path);
@@ -105,20 +114,22 @@ sim::Task<void> MpiIo::read_at(Rank r, MpiFile* fh, Offset off,
 sim::Task<void> MpiIo::collective_transfer(Rank r, MpiFile* fh, Offset off,
                                            std::uint64_t count, bool is_write) {
   // Phase 1: exchange access ranges (modelled by the barrier's all-to-all
-  // synchronization; contributions are staged in the shared handle).
+  // synchronization; contribution hulls are staged in the shared handle).
   const std::uint64_t gen = fh->generation[r]++;
-  fh->pending[gen].contrib[r] = Extent{off, off + count};
+  {
+    auto& stage = fh->pending[gen];
+    const Extent ext{off, off + count};
+    if (!ext.empty()) {
+      stage.lo = std::min(stage.lo, ext.begin);
+      stage.hi = std::max(stage.hi, ext.end);
+    }
+  }
   co_await ctx_.world->barrier(r, fh->group);
 
   // Phase 2: aggregators access their contiguous file domain.
   auto& p = fh->pending.at(gen);
-  Offset lo = std::numeric_limits<Offset>::max();
-  Offset hi = 0;
-  for (const auto& [rank, ext] : p.contrib) {
-    if (ext.empty()) continue;
-    lo = std::min(lo, ext.begin);
-    hi = std::max(hi, ext.end);
-  }
+  const Offset lo = p.lo;
+  const Offset hi = p.hi;
   const auto it = std::find(fh->aggregators.begin(), fh->aggregators.end(), r);
   if (it != fh->aggregators.end() && hi > lo) {
     const auto naggr = static_cast<Offset>(fh->aggregators.size());

@@ -109,6 +109,9 @@ class World {
   PendingCollective& join_collective(const Group& group, Rank me,
                                      trace::CollectiveKind kind, Rank root,
                                      std::uint64_t bytes, SimTime t_enter);
+  /// The pending queue this group's collectives park in (world-sized
+  /// groups get the dedicated O(1) slot).
+  std::deque<std::unique_ptr<PendingCollective>>& queue_for(const Group& group);
   void complete_collective(const Group& group, PendingCollective& p);
   [[nodiscard]] SimDuration transfer_time(std::uint64_t bytes) const;
   /// Fail-stop check at an operation boundary: a crashed rank unwinds.
@@ -119,6 +122,12 @@ class World {
   WorldConfig cfg_;
   Group all_;
   Rng rng_;
+  /// Pending queue for full-world collectives. A sorted duplicate-free
+  /// group the size of the world IS the world, so these never need the
+  /// content-keyed map below — which matters: a map lookup keyed by the
+  /// whole member vector costs O(nranks) per joining rank, turning every
+  /// world collective into O(nranks^2).
+  std::deque<std::unique_ptr<PendingCollective>> world_pending_;
   std::map<Group, std::deque<std::unique_ptr<PendingCollective>>> pending_;
   std::map<std::tuple<Rank, Rank, int>, std::unique_ptr<Mailbox>> mailboxes_;
   fault::Injector* injector_ = nullptr;  ///< not owned; nullptr = no faults

@@ -165,14 +165,23 @@ sim::Task<std::uint64_t> World::recv(Rank me, Rank from, int tag) {
 // ---------------------------------------------------------------------
 // collectives
 
+std::deque<std::unique_ptr<World::PendingCollective>>& World::queue_for(
+    const Group& group) {
+  // A collective group is sorted and duplicate-free, so one the size of
+  // the world can only be the world itself — route it past the
+  // content-keyed map, whose O(nranks) key compare per joining rank
+  // would make every world collective O(nranks^2).
+  if (group.size() == all_.size()) return world_pending_;
+  return pending_[group];
+}
+
 World::PendingCollective& World::join_collective(const Group& group, Rank me,
                                                  trace::CollectiveKind kind,
                                                  Rank root, std::uint64_t bytes,
                                                  SimTime t_enter) {
-  require(!group.empty() && std::is_sorted(group.begin(), group.end()),
-          "collective group must be sorted and non-empty");
+  require(!group.empty(), "collective group must be sorted and non-empty");
   const std::size_t pos = group_pos(group, me);
-  auto& queue = pending_[group];
+  auto& queue = queue_for(group);
   for (auto& p : queue) {
     if (!p->joined[pos]) {
       require(p->kind == kind && p->root == root,
@@ -183,6 +192,11 @@ World::PendingCollective& World::join_collective(const Group& group, Rank me,
       return *p;
     }
   }
+  // Full content validation once per collective, on the rank that opens
+  // it — an O(group) check per *join* would put world collectives right
+  // back at O(nranks^2).
+  require(std::is_sorted(group.begin(), group.end()),
+          "collective group must be sorted and non-empty");
   auto p = std::make_unique<PendingCollective>();
   p->kind = kind;
   p->root = root;
@@ -229,7 +243,7 @@ sim::Task<void> World::collective(Rank me, trace::CollectiveKind kind, Rank root
     complete_collective(group, p);
     const SimTime my_exit = p.exits[group_pos(group, me)];
     // Remove the completed collective before suspending; `p` dies here.
-    auto& queue = pending_[group];
+    auto& queue = queue_for(group);
     for (auto it = queue.begin(); it != queue.end(); ++it) {
       if (it->get() == &p) {
         queue.erase(it);

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <utility>
 #include <vector>
 
 #include "pfsem/util/types.hpp"
@@ -78,8 +79,29 @@ class Tracer {
   /// microseconds, the format's native unit).
   void write_chrome_json(std::ostream& os) const;
 
+  /// Streaming export: write the JSON header to `os` now, then flush
+  /// buffered events to it incrementally (flush_stream, driven by the
+  /// collector's chunk boundaries) and close the array with
+  /// finish_stream(). Metadata events are emitted lazily, the first time
+  /// a (pid, tid) appears — the same information as the batch export,
+  /// interleaved instead of front-loaded, which the format allows.
+  void stream_to(std::ostream* os);
+
+  [[nodiscard]] bool streaming() const { return stream_os_ != nullptr; }
+
+  /// Write everything buffered since the last flush and clear the buffer.
+  void flush_stream();
+
+  /// Flush the tail and write the JSON footer. The tracer detaches from
+  /// the stream and may be reused afterwards.
+  void finish_stream();
+
  private:
   std::vector<Event> events_;
+  std::ostream* stream_os_ = nullptr;
+  bool stream_first_ = true;
+  std::vector<std::int32_t> stream_pids_seen_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> stream_tracks_seen_;
 };
 
 }  // namespace pfsem::obs

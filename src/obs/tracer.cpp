@@ -38,6 +38,36 @@ void write_us(std::ostream& os, std::int64_t ns) {
      << static_cast<char>('0' + frac % 10);
 }
 
+/// One event object (no separator handling; callers sep() first).
+void write_event_json(std::ostream& os, const Tracer::Event& e) {
+  os << "{\"name\":\"" << e.name << "\",\"ph\":\"" << e.ph << "\",\"ts\":";
+  write_us(os, e.ts);
+  if (e.ph == 'X') {
+    os << ",\"dur\":";
+    write_us(os, e.dur);
+  } else if (e.ph == 'i') {
+    os << ",\"s\":\"t\"";  // instant scoped to its thread lane
+  }
+  os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+  if (e.a0.key != nullptr) {
+    os << ",\"args\":{\"" << e.a0.key << "\":" << e.a0.value;
+    if (e.a1.key != nullptr) os << ",\"" << e.a1.key << "\":" << e.a1.value;
+    os << "}";
+  }
+  os << "}";
+}
+
+void write_process_meta(std::ostream& os, std::int32_t pid) {
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+     << ",\"tid\":0,\"args\":{\"name\":\"" << pid_name(pid) << "\"}}";
+}
+
+void write_thread_meta(std::ostream& os, std::int32_t pid, std::int32_t tid) {
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+     << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << tid_name(pid, tid)
+     << "\"}}";
+}
+
 }  // namespace
 
 void Tracer::write_chrome_json(std::ostream& os) const {
@@ -59,35 +89,69 @@ void Tracer::write_chrome_json(std::ostream& os) const {
   }
   for (const auto pid : pids) {
     sep();
-    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
-       << ",\"tid\":0,\"args\":{\"name\":\"" << pid_name(pid) << "\"}}";
+    write_process_meta(os, pid);
   }
   for (const auto& [pid, tid] : tracks) {
     sep();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
-       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << tid_name(pid, tid)
-       << "\"}}";
+    write_thread_meta(os, pid, tid);
   }
 
   for (const auto& e : events_) {
     sep();
-    os << "{\"name\":\"" << e.name << "\",\"ph\":\"" << e.ph << "\",\"ts\":";
-    write_us(os, e.ts);
-    if (e.ph == 'X') {
-      os << ",\"dur\":";
-      write_us(os, e.dur);
-    } else if (e.ph == 'i') {
-      os << ",\"s\":\"t\"";  // instant scoped to its thread lane
-    }
-    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
-    if (e.a0.key != nullptr) {
-      os << ",\"args\":{\"" << e.a0.key << "\":" << e.a0.value;
-      if (e.a1.key != nullptr) os << ",\"" << e.a1.key << "\":" << e.a1.value;
-      os << "}";
-    }
-    os << "}";
+    write_event_json(os, e);
   }
   os << "\n]}\n";
+}
+
+void Tracer::stream_to(std::ostream* os) {
+  stream_os_ = os;
+  stream_first_ = true;
+  stream_pids_seen_.clear();
+  stream_tracks_seen_.clear();
+  if (os == nullptr) return;
+  *os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+void Tracer::flush_stream() {
+  if (stream_os_ == nullptr || events_.empty()) return;
+  std::ostream& os = *stream_os_;
+  auto sep = [&] {
+    if (!stream_first_) os << ",";
+    stream_first_ = false;
+    os << "\n";
+  };
+  // Flat vectors instead of sets: a handful of subsystems/lanes, scanned
+  // per event — cheaper than node allocation at this cardinality.
+  auto seen = [](auto& v, auto key) {
+    for (const auto& k : v) {
+      if (k == key) return true;
+    }
+    v.push_back(key);
+    return false;
+  };
+  for (const auto& e : events_) {
+    if (!seen(stream_pids_seen_, e.pid)) {
+      sep();
+      write_process_meta(os, e.pid);
+    }
+    if (!seen(stream_tracks_seen_, std::pair{e.pid, e.tid})) {
+      sep();
+      write_thread_meta(os, e.pid, e.tid);
+    }
+    sep();
+    write_event_json(os, e);
+  }
+  events_.clear();
+}
+
+void Tracer::finish_stream() {
+  if (stream_os_ == nullptr) return;
+  flush_stream();
+  *stream_os_ << "\n]}\n";
+  stream_os_ = nullptr;
+  stream_first_ = true;
+  stream_pids_seen_.clear();
+  stream_tracks_seen_.clear();
 }
 
 }  // namespace pfsem::obs

@@ -26,9 +26,19 @@
 //   --threads N      analysis threads (N >= 1; omit for all hardware
 //                    threads; output is byte-identical for every N)
 //   --capture MODE   capture path: "fast" (bucketed scheduler + per-rank
-//                    emission arenas, default) or "reference" (the
-//                    retained pre-optimization heap scheduler + global
-//                    emitter; bundles are byte-identical either way)
+//                    emission arenas, default), "reference" (the retained
+//                    pre-optimization heap scheduler + global emitter;
+//                    bundles are byte-identical either way), or "auto"
+//                    (pick the pair by rank count)
+//   --stream         report/trace only: chunked streaming pipeline —
+//                    records spill to a bounded store as they are
+//                    captured and the analysis consumes them
+//                    incrementally, so peak memory stays flat in rank
+//                    count. Output is byte-identical to the default
+//                    materialized path (see docs/performance.md).
+//   --chunk-records N  streaming chunk size in records (default 65536)
+//   --spill-mem MB   in-memory spill ceiling before chunks go to a temp
+//                    file (default 64)
 //   --obs            observability: print the run's metrics summary
 //   --obs-out FILE   write the stable metrics dump (byte-identical across
 //                    --threads and --capture; see docs/observability.md)
@@ -55,8 +65,10 @@
 #include "pfsem/core/pattern.hpp"
 #include "pfsem/core/remedy.hpp"
 #include "pfsem/core/report.hpp"
+#include "pfsem/core/stream_analyze.hpp"
 #include "pfsem/core/tuning.hpp"
 #include "pfsem/trace/serialize.hpp"
+#include "pfsem/trace/spill.hpp"
 #include "pfsem/util/table.hpp"
 
 namespace {
@@ -80,6 +92,11 @@ struct Options {
   int retries = 0;  // retries per op after the first attempt
   int threads = 0;  // analysis threads (0 = all hardware threads)
   bool capture_reference = false;  // run the retained reference capture path
+  bool capture_auto = false;       // resolve the capture pair by rank count
+  // Chunked streaming pipeline (--stream; report and trace only).
+  bool stream = false;
+  std::size_t chunk_records = std::size_t{1} << 16;
+  std::size_t spill_mem_mb = 64;
   // Observability (--obs / --obs-out / --obs-trace).
   bool obs_print = false;     // print the metrics summary
   std::string obs_out;        // stable metrics dump destination ("" = none)
@@ -87,6 +104,9 @@ struct Options {
   // The run context outlives simulation AND analysis (shared so Options
   // stays copyable; obs::Run itself is not).
   std::shared_ptr<obs::Run> obs_run;
+  // Open for the whole run when --stream + --obs-trace: the tracer
+  // flushes spans into it at chunk boundaries instead of buffering.
+  std::shared_ptr<std::ofstream> obs_trace_os;
   // Filled by obtain() when the run executed under fault injection.
   bool ran_faults = false;
   fault::FaultStats fault_stats;
@@ -104,10 +124,14 @@ int usage() {
                "  pfsem tune <config|trace.trc> [options]\n"
                "  pfsem remedy <config|trace.trc> [--strict] [options]\n"
                "common options: --threads N (N >= 1; omit for all cores),\n"
-               "                --capture fast|reference, --obs,\n"
+               "                --capture fast|reference|auto, --obs,\n"
                "                --obs-out <file>, --obs-trace <file>,\n"
                "                --mds N --ost M --stripe K (multi-server "
-               "cluster backend)\n";
+               "cluster backend)\n"
+               "report/trace:   --stream [--chunk-records N] [--spill-mem "
+               "MB]\n"
+               "                (chunked streaming pipeline; output is "
+               "byte-identical)\n";
   return 2;
 }
 
@@ -181,7 +205,27 @@ Options parse_options(int argc, char** argv, int first) {
     else if (a == "--capture") {
       const std::string mode = next();
       if (mode == "reference") opt.capture_reference = true;
-      else if (mode != "fast") throw Error("--capture wants fast|reference");
+      else if (mode == "auto") opt.capture_auto = true;
+      else if (mode != "fast") {
+        throw Error("--capture wants fast|reference|auto");
+      }
+    }
+    else if (a == "--stream") opt.stream = true;
+    else if (a == "--chunk-records") {
+      const long long v = std::stoll(next());
+      if (v < 1) {
+        throw Error("--chunk-records wants a positive record count, got " +
+                    std::to_string(v));
+      }
+      opt.chunk_records = static_cast<std::size_t>(v);
+    }
+    else if (a == "--spill-mem") {
+      const long long v = std::stoll(next());
+      if (v < 1) {
+        throw Error("--spill-mem wants a positive MiB ceiling, got " +
+                    std::to_string(v));
+      }
+      opt.spill_mem_mb = static_cast<std::size_t>(v);
     }
     else if (a == "--obs") opt.obs_print = true;
     else if (a == "--obs-out") opt.obs_out = next();
@@ -194,6 +238,13 @@ Options parse_options(int argc, char** argv, int first) {
     // The analysis pool is wired globally (pools are transient objects
     // created inside the analysis functions).
     exec::set_observer(opt.obs_run.get());
+    if (opt.stream && !opt.obs_trace.empty()) {
+      // Streaming runs flush spans at chunk boundaries, so the trace
+      // file must be open for the whole run.
+      opt.obs_trace_os = std::make_shared<std::ofstream>(opt.obs_trace);
+      if (!*opt.obs_trace_os) throw Error("cannot write " + opt.obs_trace);
+      opt.obs_run->tracer.stream_to(opt.obs_trace_os.get());
+    }
   }
   return opt;
 }
@@ -208,9 +259,14 @@ void finish_obs(const Options& opt) {
     if (!os) throw Error("cannot write " + opt.obs_out);
   }
   if (!opt.obs_trace.empty()) {
-    std::ofstream os(opt.obs_trace);
-    opt.obs_run->tracer.write_chrome_json(os);
-    if (!os) throw Error("cannot write " + opt.obs_trace);
+    if (opt.obs_run->tracer.streaming()) {
+      opt.obs_run->tracer.finish_stream();
+      if (!*opt.obs_trace_os) throw Error("cannot write " + opt.obs_trace);
+    } else {
+      std::ofstream os(opt.obs_trace);
+      opt.obs_run->tracer.write_chrome_json(os);
+      if (!os) throw Error("cannot write " + opt.obs_trace);
+    }
   }
   if (opt.obs_print) {
     std::cout << "\n" << obs::summary(*opt.obs_run);
@@ -218,39 +274,60 @@ void finish_obs(const Options& opt) {
   exec::set_observer(nullptr);
 }
 
+/// Everything a named-config simulation needs, shared between the
+/// materialized and the streaming entry points.
+struct SimSetup {
+  apps::AppConfig cfg;
+  std::vector<sim::ClockModel> clocks;
+  apps::FaultSetup setup;
+  bool has_faults = false;
+};
+
+SimSetup make_setup(Options& opt) {
+  SimSetup s;
+  s.cfg.nranks = opt.ranks;
+  s.cfg.ranks_per_node = std::max(1, opt.ranks / 8);
+  s.cfg.seed = opt.seed;
+  s.cfg.obs = opt.obs_run.get();
+  s.cfg.stream_chunk_records = opt.chunk_records;
+  if (opt.capture_auto) {
+    s.cfg.capture = trace::CaptureMode::Auto;
+  } else if (opt.capture_reference) {
+    s.cfg.scheduler = sim::SchedulerKind::Heap;
+    s.cfg.capture = trace::CaptureMode::Reference;
+  }
+  if (opt.skew > 0) {
+    s.clocks = sim::make_skewed_clocks(opt.ranks, opt.skew, 100.0, opt.seed);
+  }
+  if (!opt.faults.empty()) {
+    s.setup.plan = fault::FaultPlan::parse(opt.faults);
+    s.setup.seed = opt.fault_seed;
+    s.setup.retry.max_attempts = opt.retries + 1;
+    s.has_faults = true;
+    opt.ran_faults = true;
+  }
+  return s;
+}
+
+vfs::ClusterConfig make_cluster_config(const Options& opt) {
+  vfs::ClusterConfig ccfg;
+  ccfg.mds_count = opt.mds;
+  ccfg.ost_count = opt.ost;
+  ccfg.stripe = opt.stripe;
+  return ccfg;
+}
+
 /// Obtain a trace either by simulating a named config or loading a file.
 trace::TraceBundle obtain(const std::string& what, Options& opt) {
   if (const auto* info = apps::find_app(what)) {
-    apps::AppConfig cfg;
-    cfg.nranks = opt.ranks;
-    cfg.ranks_per_node = std::max(1, opt.ranks / 8);
-    cfg.seed = opt.seed;
-    cfg.obs = opt.obs_run.get();
-    if (opt.capture_reference) {
-      cfg.scheduler = sim::SchedulerKind::Heap;
-      cfg.capture = trace::CaptureMode::Reference;
-    }
-    auto clocks = opt.skew > 0
-                      ? sim::make_skewed_clocks(opt.ranks, opt.skew, 100.0, opt.seed)
-                      : std::vector<sim::ClockModel>{};
-    apps::FaultSetup setup;
-    const apps::FaultSetup* setup_ptr = nullptr;
-    if (!opt.faults.empty()) {
-      setup.plan = fault::FaultPlan::parse(opt.faults);
-      setup.seed = opt.fault_seed;
-      setup.retry.max_attempts = opt.retries + 1;
-      setup_ptr = &setup;
-      opt.ran_faults = true;
-    }
+    SimSetup s = make_setup(opt);
+    const apps::FaultSetup* setup_ptr = s.has_faults ? &s.setup : nullptr;
     if (opt.cluster) {
-      vfs::ClusterConfig ccfg;
-      ccfg.mds_count = opt.mds;
-      ccfg.ost_count = opt.ost;
-      ccfg.stripe = opt.stripe;
-      return apps::run_app_cluster(*info, cfg, ccfg, std::move(clocks),
-                                   setup_ptr, &opt.fault_stats);
+      return apps::run_app_cluster(*info, s.cfg, make_cluster_config(opt),
+                                   std::move(s.clocks), setup_ptr,
+                                   &opt.fault_stats);
     }
-    return apps::run_app(*info, cfg, {}, std::move(clocks), setup_ptr,
+    return apps::run_app(*info, s.cfg, {}, std::move(s.clocks), setup_ptr,
                          &opt.fault_stats);
   }
   require(opt.faults.empty(),
@@ -266,6 +343,109 @@ trace::TraceBundle obtain(const std::string& what, Options& opt) {
   is.seekg(0);
   if (std::string_view(magic, 8) == "PFSEMTR2") return trace::read_compact(is);
   return trace::read_binary(is);
+}
+
+/// Simulate a named config in streaming mode: records flow into `sink`
+/// chunk by chunk and only the StreamMeta survives the harness.
+trace::StreamMeta stream_config(const apps::AppInfo& info, Options& opt,
+                                trace::StreamSink& sink) {
+  SimSetup s = make_setup(opt);
+  const apps::FaultSetup* setup_ptr = s.has_faults ? &s.setup : nullptr;
+  if (opt.cluster) {
+    return apps::run_app_cluster_stream(info, sink, s.cfg,
+                                        make_cluster_config(opt),
+                                        std::move(s.clocks), setup_ptr,
+                                        &opt.fault_stats);
+  }
+  return apps::run_app_stream(info, sink, s.cfg, {}, std::move(s.clocks),
+                              setup_ptr, &opt.fault_stats);
+}
+
+/// Spill a named config's records to a bounded store, then drain them.
+/// The harness (and the simulated file system) is destroyed before
+/// `drain` runs, so capture and analysis memory never coexist.
+template <typename Drain>
+auto spill_and_drain(const apps::AppInfo& info, Options& opt, Drain drain) {
+  trace::SpillStore store(opt.spill_mem_mb << 20);
+  trace::StreamMeta meta;
+  {
+    trace::ChunkWriter writer(store, opt.ranks);
+    meta = stream_config(info, opt, writer);
+    writer.finish(meta);
+  }
+  const auto in = store.open_read();
+  trace::ChunkReader reader(*in);
+  return drain(std::move(meta), reader);
+}
+
+/// `pfsem report <config> --stream`: full report without ever holding
+/// the record array; byte-identical to the materialized path.
+core::RunReport stream_report_config(const apps::AppInfo& info, Options& opt) {
+  return spill_and_drain(
+      info, opt, [&](trace::StreamMeta meta, trace::ChunkReader& reader) {
+        core::StreamAnalyzer analyzer(meta.nranks, std::move(meta.paths),
+                                      std::move(meta.rank_posix_counts),
+                                      meta.file_op_counts);
+        trace::Record rec;
+        while (reader.next(rec)) analyzer.feed(rec);
+        (void)reader.read_trailer();  // validates the framing end to end
+        auto res = analyzer.finish();
+        const auto pairs = core::detect_file_overlaps(res.log, {}, opt.threads);
+        const auto conflicts =
+            core::detect_conflicts(res.log, pairs, {.threads = opt.threads});
+        return core::assemble_report(std::move(res.stats), res.records,
+                                     res.log.nranks, res.log, conflicts,
+                                     opt.threads);
+      });
+}
+
+/// `pfsem report <trace.trc> --stream`: analyze a compact-v2 trace file
+/// incrementally. Two passes: the first counts per-rank POSIX records so
+/// the analyzer's reorder buffer can retire finished ranks.
+core::RunReport stream_report_file(const std::string& path, Options& opt) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw Error("'" + path +
+                "' is neither a known config nor a readable trace file");
+  }
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  is.clear();
+  is.seekg(0);
+  require(std::string_view(magic, 8) == "PFSEMTR2",
+          "--stream on a trace file needs the compact format "
+          "(pfsem trace <config> <out.trc> --compact)");
+  require(opt.faults.empty(),
+          "--faults needs a named config to simulate, not a saved trace");
+  require(!opt.cluster,
+          "--mds/--ost/--stripe need a named config to simulate, not a "
+          "saved trace");
+  std::vector<std::uint64_t> posix_counts;
+  {
+    trace::CompactReader pass1(is);
+    posix_counts.assign(static_cast<std::size_t>(pass1.nranks()), 0);
+    trace::Record rec;
+    while (pass1.next(rec)) {
+      if (rec.layer == trace::Layer::Posix) {
+        ++posix_counts[static_cast<std::size_t>(rec.rank)];
+      }
+    }
+  }
+  is.clear();
+  is.seekg(0);
+  trace::CompactReader reader(is);
+  core::StreamAnalyzer analyzer(reader.nranks(), reader.paths(),
+                                std::move(posix_counts));
+  trace::Record rec;
+  while (reader.next(rec)) analyzer.feed(rec);
+  (void)reader.read_comm();  // validates the tail of the file
+  auto res = analyzer.finish();
+  const auto pairs = core::detect_file_overlaps(res.log, {}, opt.threads);
+  const auto conflicts =
+      core::detect_conflicts(res.log, pairs, {.threads = opt.threads});
+  return core::assemble_report(std::move(res.stats), res.records,
+                               res.log.nranks, res.log, conflicts,
+                               opt.threads);
 }
 
 void print_report(const trace::TraceBundle& bundle, int threads) {
@@ -341,6 +521,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "run" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
+      require(!opt.stream, "--stream is supported by report and trace only");
       print_report(obtain(argv[2], opt), opt.threads);
       if (opt.ran_faults) {
         std::cout << "\n";
@@ -352,16 +533,41 @@ int main(int argc, char** argv) {
     }
     if (cmd == "trace" && argc >= 4) {
       auto opt = parse_options(argc, argv, 4);
-      const auto bundle = obtain(argv[2], opt);
-      std::ofstream os(argv[3], std::ios::binary);
-      if (opt.compact) {
-        trace::write_compact(bundle, os);
+      std::uint64_t records = 0;
+      if (opt.stream) {
+        require(opt.compact,
+                "trace --stream writes the compact format; add --compact");
+        const auto* info = apps::find_app(argv[2]);
+        require(info != nullptr,
+                "trace --stream simulates a named config (got '" +
+                    std::string(argv[2]) + "')");
+        std::ofstream os(argv[3], std::ios::binary);
+        spill_and_drain(
+            *info, opt, [&](trace::StreamMeta meta, trace::ChunkReader& rd) {
+              trace::write_compact_streamed(
+                  meta.nranks, meta.paths, meta.comm, meta.records,
+                  [&](const trace::RecordEmit& emit) {
+                    trace::Record rec;
+                    while (rd.next(rec)) emit(rec);
+                    (void)rd.read_trailer();
+                  },
+                  os);
+              records = meta.records;
+              return 0;
+            });
+        if (!os) throw Error(std::string("cannot write ") + argv[3]);
       } else {
-        trace::write_binary(bundle, os);
+        const auto bundle = obtain(argv[2], opt);
+        std::ofstream os(argv[3], std::ios::binary);
+        if (opt.compact) {
+          trace::write_compact(bundle, os);
+        } else {
+          trace::write_binary(bundle, os);
+        }
+        if (!os) throw Error(std::string("cannot write ") + argv[3]);
+        records = bundle.records.size();
       }
-      if (!os) throw Error(std::string("cannot write ") + argv[3]);
-      std::cout << "wrote " << bundle.records.size() << " records to "
-                << argv[3] << "\n";
+      std::cout << "wrote " << records << " records to " << argv[3] << "\n";
       if (opt.ran_faults) {
         core::print_degraded(apps::degraded_summary(opt.fault_stats),
                              std::cout);
@@ -371,18 +577,26 @@ int main(int argc, char** argv) {
     }
     if (cmd == "analyze" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
+      require(!opt.stream, "--stream is supported by report and trace only");
       print_report(obtain(argv[2], opt), opt.threads);
       finish_obs(opt);
       return 0;
     }
     if (cmd == "report" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
-      const auto bundle = obtain(argv[2], opt);
-      const auto log = core::reconstruct_accesses(bundle);
-      const auto pairs = core::detect_file_overlaps(log, {}, opt.threads);
-      const auto conflicts =
-          core::detect_conflicts(log, pairs, {.threads = opt.threads});
-      auto rep = core::build_report(bundle, log, conflicts, opt.threads);
+      core::RunReport rep;
+      if (opt.stream) {
+        const auto* info = apps::find_app(argv[2]);
+        rep = info != nullptr ? stream_report_config(*info, opt)
+                              : stream_report_file(argv[2], opt);
+      } else {
+        const auto bundle = obtain(argv[2], opt);
+        const auto log = core::reconstruct_accesses(bundle);
+        const auto pairs = core::detect_file_overlaps(log, {}, opt.threads);
+        const auto conflicts =
+            core::detect_conflicts(log, pairs, {.threads = opt.threads});
+        rep = core::build_report(bundle, log, conflicts, opt.threads);
+      }
       if (opt.ran_faults) {
         rep.degraded = apps::degraded_summary(opt.fault_stats);
       }
@@ -397,6 +611,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "advise" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
+      require(!opt.stream, "--stream is supported by report and trace only");
       const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
       const auto report = core::detect_conflicts(
@@ -410,6 +625,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "tune" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
+      require(!opt.stream, "--stream is supported by report and trace only");
       const auto bundle = obtain(argv[2], opt);
       print_tuning(bundle, opt.threads);
       finish_obs(opt);
@@ -417,6 +633,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "remedy" && argc >= 3) {
       auto opt = parse_options(argc, argv, 3);
+      require(!opt.stream, "--stream is supported by report and trace only");
       const auto bundle = obtain(argv[2], opt);
       const auto log = core::reconstruct_accesses(bundle);
       const core::RemedyOptions ropt{.strict = opt.strict};

@@ -3,6 +3,10 @@
 // compression ideas of Recorder 2.0 (whose contribution over Recorder 1
 // was exactly that detailed multi-layer traces stay small): HPC I/O
 // records are highly regular, so deltas and small ids dominate.
+//
+// The whole-bundle entry points are thin wrappers over the streaming
+// core (write_compact_streamed / CompactReader), so the materialized and
+// streaming pipelines share one codec and stay byte-identical.
 
 #include <algorithm>
 #include <istream>
@@ -11,6 +15,7 @@
 #include <vector>
 
 #include "pfsem/trace/serialize.hpp"
+#include "pfsem/trace/varint.hpp"
 #include "pfsem/util/error.hpp"
 
 namespace pfsem::trace {
@@ -19,76 +24,106 @@ namespace {
 
 constexpr char kMagic2[8] = {'P', 'F', 'S', 'E', 'M', 'T', 'R', '2'};
 
-void put_varint(std::ostream& os, std::uint64_t v) {
-  while (v >= 0x80) {
-    os.put(static_cast<char>((v & 0x7f) | 0x80));
-    v >>= 7;
-  }
-  os.put(static_cast<char>(v));
-}
-
-std::uint64_t get_varint(std::istream& is) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  while (true) {
-    const int c = is.get();
-    require(c != std::char_traits<char>::eof(), "truncated compact trace");
-    require(shift < 64, "overlong varint in compact trace");
-    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-    if (!(c & 0x80)) break;
-    shift += 7;
-  }
-  return v;
-}
-
-constexpr std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-constexpr std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
-
-void put_string(std::ostream& os, std::string_view s) {
-  put_varint(os, s.size());
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string get_string(std::istream& is) {
-  const auto n = get_varint(is);
-  require(n <= (1u << 20), "implausible string length in compact trace");
-  std::string s(n, '\0');
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  require(static_cast<bool>(is), "truncated compact trace");
-  return s;
-}
+using detail::get_string;
+using detail::get_varint;
+using detail::put_string;
+using detail::put_varint;
+using detail::unzigzag;
+using detail::zigzag;
 
 }  // namespace
 
-void write_compact(const TraceBundle& bundle, std::ostream& os) {
-  os.write(kMagic2, sizeof kMagic2);
-  put_varint(os, static_cast<std::uint64_t>(bundle.nranks));
+namespace detail {
 
-  // The on-disk path table is the bundle's PathTable verbatim, so FileIds
+void write_comm(const CommLog& comm, std::ostream& os) {
+  put_varint(os, comm.p2p.size());
+  for (const auto& e : comm.p2p) {
+    put_varint(os, static_cast<std::uint64_t>(e.src));
+    put_varint(os, static_cast<std::uint64_t>(e.dst));
+    put_varint(os, zigzag(e.tag));
+    put_varint(os, e.bytes);
+    put_varint(os, zigzag(e.t_send_start));
+    put_varint(os, zigzag(e.t_send_end - e.t_send_start));
+    put_varint(os, zigzag(e.t_recv_start - e.t_send_start));
+    put_varint(os, zigzag(e.t_recv_end - e.t_recv_start));
+  }
+  put_varint(os, comm.collectives.size());
+  for (const auto& c : comm.collectives) {
+    put_varint(os, static_cast<std::uint64_t>(c.kind));
+    put_varint(os, zigzag(c.root));
+    put_varint(os, c.arrivals.size());
+    for (const auto& a : c.arrivals) {
+      put_varint(os, static_cast<std::uint64_t>(a.rank));
+      put_varint(os, zigzag(a.t_enter));
+      put_varint(os, zigzag(a.t_exit - a.t_enter));
+    }
+  }
+}
+
+CommLog read_comm(std::istream& is, int nranks) {
+  CommLog comm;
+  const auto np2p = get_varint(is);
+  comm.p2p.reserve(std::min<std::uint64_t>(np2p, 1u << 20));
+  for (std::uint64_t i = 0; i < np2p; ++i) {
+    P2PEvent e;
+    e.src = static_cast<Rank>(get_varint(is));
+    e.dst = static_cast<Rank>(get_varint(is));
+    e.tag = static_cast<std::int32_t>(unzigzag(get_varint(is)));
+    e.bytes = get_varint(is);
+    e.t_send_start = unzigzag(get_varint(is));
+    e.t_send_end = e.t_send_start + unzigzag(get_varint(is));
+    e.t_recv_start = e.t_send_start + unzigzag(get_varint(is));
+    e.t_recv_end = e.t_recv_start + unzigzag(get_varint(is));
+    comm.p2p.push_back(e);
+  }
+  const auto ncoll = get_varint(is);
+  comm.collectives.reserve(std::min<std::uint64_t>(ncoll, 1u << 20));
+  for (std::uint64_t i = 0; i < ncoll; ++i) {
+    CollectiveEvent c;
+    c.kind = static_cast<CollectiveKind>(get_varint(is));
+    c.root = static_cast<Rank>(unzigzag(get_varint(is)));
+    const auto na = get_varint(is);
+    require(na <= static_cast<std::uint64_t>(nranks), "bad arrival count");
+    for (std::uint64_t j = 0; j < na; ++j) {
+      CollectiveArrival a;
+      a.rank = static_cast<Rank>(get_varint(is));
+      a.t_enter = unzigzag(get_varint(is));
+      a.t_exit = a.t_enter + unzigzag(get_varint(is));
+      c.arrivals.push_back(a);
+    }
+    comm.collectives.push_back(std::move(c));
+  }
+  return comm;
+}
+
+}  // namespace detail
+
+void write_compact_streamed(int nranks, const PathTable& paths,
+                            const CommLog& comm, std::uint64_t record_count,
+                            const std::function<void(const RecordEmit&)>& scan,
+                            std::ostream& os) {
+  os.write(kMagic2, sizeof kMagic2);
+  put_varint(os, static_cast<std::uint64_t>(nranks));
+
+  // The on-disk path table is the run's PathTable verbatim, so FileIds
   // survive a round trip unchanged. Records without a path (kNoFile) are
   // stored as a reference to an empty-string entry, appended if the table
   // does not already contain one — the same encoding the pre-interning
   // writer produced for pathless records.
-  const FileId empty_id = bundle.paths.find("");
+  const FileId empty_id = paths.find("");
   const bool need_empty = empty_id == kNoFile;
-  const std::uint64_t npaths = bundle.paths.size() + (need_empty ? 1 : 0);
-  const std::uint64_t no_file_slot =
-      need_empty ? bundle.paths.size() : empty_id;
+  const std::uint64_t npaths = paths.size() + (need_empty ? 1 : 0);
+  const std::uint64_t no_file_slot = need_empty ? paths.size() : empty_id;
   put_varint(os, npaths);
-  for (std::size_t i = 0; i < bundle.paths.size(); ++i) {
-    put_string(os, bundle.paths.view(static_cast<FileId>(i)));
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    put_string(os, paths.view(static_cast<FileId>(i)));
   }
   if (need_empty) put_string(os, "");
 
-  put_varint(os, bundle.records.size());
-  std::vector<SimTime> last_t(static_cast<std::size_t>(bundle.nranks), 0);
-  for (const auto& r : bundle.records) {
+  put_varint(os, record_count);
+  std::vector<SimTime> last_t(static_cast<std::size_t>(nranks), 0);
+  std::uint64_t emitted = 0;
+  scan([&](const Record& r) {
     auto& prev = last_t[static_cast<std::size_t>(r.rank)];
     put_varint(os, static_cast<std::uint64_t>(r.rank));
     put_varint(os, zigzag(r.tstart - prev));  // per-rank delta
@@ -104,116 +139,91 @@ void write_compact(const TraceBundle& bundle, std::ostream& os) {
     put_varint(os, zigzag(r.flags));
     put_varint(os, r.file == kNoFile ? no_file_slot
                                      : static_cast<std::uint64_t>(r.file));
-  }
+    ++emitted;
+  });
+  require(emitted == record_count,
+          "record scan count mismatch in compact trace write");
 
-  put_varint(os, bundle.comm.p2p.size());
-  for (const auto& e : bundle.comm.p2p) {
-    put_varint(os, static_cast<std::uint64_t>(e.src));
-    put_varint(os, static_cast<std::uint64_t>(e.dst));
-    put_varint(os, zigzag(e.tag));
-    put_varint(os, e.bytes);
-    put_varint(os, zigzag(e.t_send_start));
-    put_varint(os, zigzag(e.t_send_end - e.t_send_start));
-    put_varint(os, zigzag(e.t_recv_start - e.t_send_start));
-    put_varint(os, zigzag(e.t_recv_end - e.t_recv_start));
-  }
-  put_varint(os, bundle.comm.collectives.size());
-  for (const auto& c : bundle.comm.collectives) {
-    put_varint(os, static_cast<std::uint64_t>(c.kind));
-    put_varint(os, zigzag(c.root));
-    put_varint(os, c.arrivals.size());
-    for (const auto& a : c.arrivals) {
-      put_varint(os, static_cast<std::uint64_t>(a.rank));
-      put_varint(os, zigzag(a.t_enter));
-      put_varint(os, zigzag(a.t_exit - a.t_enter));
-    }
-  }
+  detail::write_comm(comm, os);
   require(static_cast<bool>(os), "compact trace write failure");
 }
 
-TraceBundle read_compact(std::istream& is) {
+void write_compact(const TraceBundle& bundle, std::ostream& os) {
+  write_compact_streamed(
+      bundle.nranks, bundle.paths, bundle.comm, bundle.records.size(),
+      [&](const RecordEmit& emit) {
+        for (const auto& r : bundle.records) emit(r);
+      },
+      os);
+}
+
+CompactReader::CompactReader(std::istream& is) : is_(is) {
   char magic[8];
-  is.read(magic, sizeof magic);
-  require(static_cast<bool>(is) &&
+  is_.read(magic, sizeof magic);
+  require(static_cast<bool>(is_) &&
               std::equal(std::begin(magic), std::end(magic), kMagic2),
           "not a compact pfsem trace");
-  TraceBundle b;
-  b.nranks = static_cast<int>(get_varint(is));
-  require(b.nranks > 0 && b.nranks < (1 << 24), "bad rank count");
+  nranks_ = static_cast<int>(get_varint(is_));
+  require(nranks_ > 0 && nranks_ < (1 << 24), "bad rank count");
 
   // Adopt the on-disk intern table directly as the in-memory PathTable:
-  // ids in the stream are ids in the loaded bundle, no per-record string
-  // materialization. Empty-string entries stay in the table (records
-  // referencing them decode to kNoFile below).
-  const auto npaths = get_varint(is);
+  // ids in the stream are ids in the decoded records, no per-record
+  // string materialization. Empty-string entries stay in the table
+  // (records referencing them decode to kNoFile in next()).
+  const auto npaths = get_varint(is_);
   require(npaths <= (1u << 24), "implausible path-table size");
   for (std::uint64_t i = 0; i < npaths; ++i) {
-    const std::string s = get_string(is);
-    const FileId id = b.paths.intern(s);
+    const std::string s = get_string(is_);
+    const FileId id = paths_.intern(s);
     require(id == static_cast<FileId>(i), "duplicate path in compact table");
   }
 
-  const auto nrec = get_varint(is);
-  b.records.reserve(std::min<std::uint64_t>(nrec, 1u << 20));
-  std::vector<SimTime> last_t(static_cast<std::size_t>(b.nranks), 0);
-  for (std::uint64_t i = 0; i < nrec; ++i) {
-    Record r;
-    const auto rank = get_varint(is);
-    require(rank < static_cast<std::uint64_t>(b.nranks), "bad record rank");
-    r.rank = static_cast<Rank>(rank);
-    auto& prev = last_t[rank];
-    r.tstart = prev + unzigzag(get_varint(is));
-    r.tend = r.tstart + unzigzag(get_varint(is));
-    prev = r.tstart;
-    const auto packed = get_varint(is);
-    r.layer = static_cast<Layer>(packed & 0x7);
-    r.origin = static_cast<Layer>((packed >> 3) & 0x7);
-    const auto func = packed >> 6;
-    require(func < kFuncCount, "bad function id in compact trace");
-    r.func = static_cast<Func>(func);
-    r.fd = static_cast<std::int32_t>(unzigzag(get_varint(is)));
-    r.ret = unzigzag(get_varint(is));
-    r.offset = get_varint(is);
-    r.count = get_varint(is);
-    r.flags = static_cast<std::int32_t>(unzigzag(get_varint(is)));
-    const auto pid = get_varint(is);
-    require(pid < b.paths.size(), "bad path id in compact trace");
-    const auto id = static_cast<FileId>(pid);
-    r.file = b.paths.view(id).empty() ? kNoFile : id;
-    b.records.push_back(r);
-  }
+  nrec_ = get_varint(is_);
+  last_t_.assign(static_cast<std::size_t>(nranks_), 0);
+}
 
-  const auto np2p = get_varint(is);
-  b.comm.p2p.reserve(std::min<std::uint64_t>(np2p, 1u << 20));
-  for (std::uint64_t i = 0; i < np2p; ++i) {
-    P2PEvent e;
-    e.src = static_cast<Rank>(get_varint(is));
-    e.dst = static_cast<Rank>(get_varint(is));
-    e.tag = static_cast<std::int32_t>(unzigzag(get_varint(is)));
-    e.bytes = get_varint(is);
-    e.t_send_start = unzigzag(get_varint(is));
-    e.t_send_end = e.t_send_start + unzigzag(get_varint(is));
-    e.t_recv_start = e.t_send_start + unzigzag(get_varint(is));
-    e.t_recv_end = e.t_recv_start + unzigzag(get_varint(is));
-    b.comm.p2p.push_back(e);
-  }
-  const auto ncoll = get_varint(is);
-  b.comm.collectives.reserve(std::min<std::uint64_t>(ncoll, 1u << 20));
-  for (std::uint64_t i = 0; i < ncoll; ++i) {
-    CollectiveEvent c;
-    c.kind = static_cast<CollectiveKind>(get_varint(is));
-    c.root = static_cast<Rank>(unzigzag(get_varint(is)));
-    const auto na = get_varint(is);
-    require(na <= static_cast<std::uint64_t>(b.nranks), "bad arrival count");
-    for (std::uint64_t j = 0; j < na; ++j) {
-      CollectiveArrival a;
-      a.rank = static_cast<Rank>(get_varint(is));
-      a.t_enter = unzigzag(get_varint(is));
-      a.t_exit = a.t_enter + unzigzag(get_varint(is));
-      c.arrivals.push_back(a);
-    }
-    b.comm.collectives.push_back(std::move(c));
-  }
+bool CompactReader::next(Record& out) {
+  if (read_ == nrec_) return false;
+  ++read_;
+  const auto rank = get_varint(is_);
+  require(rank < static_cast<std::uint64_t>(nranks_), "bad record rank");
+  out.rank = static_cast<Rank>(rank);
+  auto& prev = last_t_[rank];
+  out.tstart = prev + unzigzag(get_varint(is_));
+  out.tend = out.tstart + unzigzag(get_varint(is_));
+  prev = out.tstart;
+  const auto packed = get_varint(is_);
+  out.layer = static_cast<Layer>(packed & 0x7);
+  out.origin = static_cast<Layer>((packed >> 3) & 0x7);
+  const auto func = packed >> 6;
+  require(func < kFuncCount, "bad function id in compact trace");
+  out.func = static_cast<Func>(func);
+  out.fd = static_cast<std::int32_t>(unzigzag(get_varint(is_)));
+  out.ret = unzigzag(get_varint(is_));
+  out.offset = get_varint(is_);
+  out.count = get_varint(is_);
+  out.flags = static_cast<std::int32_t>(unzigzag(get_varint(is_)));
+  const auto pid = get_varint(is_);
+  require(pid < paths_.size(), "bad path id in compact trace");
+  const auto id = static_cast<FileId>(pid);
+  out.file = paths_.view(id).empty() ? kNoFile : id;
+  return true;
+}
+
+CommLog CompactReader::read_comm() {
+  require(read_ == nrec_, "comm log read before records were drained");
+  return detail::read_comm(is_, nranks_);
+}
+
+TraceBundle read_compact(std::istream& is) {
+  CompactReader reader(is);
+  TraceBundle b;
+  b.nranks = reader.nranks();
+  b.paths = reader.paths();
+  b.records.reserve(std::min<std::uint64_t>(reader.record_count(), 1u << 20));
+  Record r;
+  while (reader.next(r)) b.records.push_back(r);
+  b.comm = reader.read_comm();
   return b;
 }
 

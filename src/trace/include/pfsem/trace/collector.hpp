@@ -26,12 +26,16 @@
 #include "pfsem/obs/obs.hpp"
 #include "pfsem/sim/clock.hpp"
 #include "pfsem/trace/bundle.hpp"
+#include "pfsem/trace/stream.hpp"
 #include "pfsem/util/error.hpp"
 
 namespace pfsem::trace {
 
-/// Which emission path a Collector runs on (see file comment).
-enum class CaptureMode : std::uint8_t { Fast, Reference };
+/// Which emission path a Collector runs on (see file comment). Auto is a
+/// harness-level policy (pick Reference below a rank threshold, Fast
+/// above — see apps::Harness); a Collector itself must be constructed
+/// with a resolved mode.
+enum class CaptureMode : std::uint8_t { Fast, Reference, Auto };
 
 class Collector {
  public:
@@ -40,6 +44,9 @@ class Collector {
                      CaptureMode mode = CaptureMode::Fast)
       : clocks_(std::move(clocks)), mode_(mode) {
     require(nranks > 0, "need at least one rank");
+    require(mode_ != CaptureMode::Auto,
+            "Collector needs a resolved capture mode (Auto is a harness "
+            "policy)");
     require(clocks_.empty() || std::ssize(clocks_) == nranks,
             "clock vector must match rank count");
     bundle_.nranks = nranks;
@@ -102,6 +109,7 @@ class Collector {
       tmp.tstart = local_time(tmp.rank, tmp.tstart);
       tmp.tend = local_time(tmp.rank, tmp.tend);
       bundle_.records.push_back(std::move(tmp));
+      if (stream_sink_ != nullptr) note_stream(r);
       return;
     }
     if (r.file != kNoFile) {
@@ -113,6 +121,7 @@ class Collector {
     Record& dst = a.records.emplace_back(r);
     dst.tstart = local_time(dst.rank, dst.tstart);
     dst.tend = local_time(dst.rank, dst.tend);
+    if (stream_sink_ != nullptr) note_stream(r);
   }
 
   /// Record a matched point-to-point event (times given in global time).
@@ -148,6 +157,28 @@ class Collector {
   /// later sequence numbers, so order stays canonical).
   [[nodiscard]] const TraceBundle& bundle();
 
+  /// Switch to streaming capture: records are handed to `sink` in global
+  /// emission order in batches of `chunk_records` instead of accumulating
+  /// in the bundle. Must be called before the first emit; bundle()/take()
+  /// are unavailable afterwards — finish with take_stream(). Both capture
+  /// modes stream (fast scatters its arenas per chunk, reference hands
+  /// off its vector), producing identical streams.
+  void enable_streaming(StreamSink* sink, std::size_t chunk_records);
+
+  [[nodiscard]] bool streaming() const { return stream_sink_ != nullptr; }
+
+  /// Finish a streaming capture: flush the final partial batch to the
+  /// sink and hand over everything except the records. The collector is
+  /// empty afterwards.
+  [[nodiscard]] StreamMeta take_stream();
+
+  /// Largest pending-record batch handed to the sink in one flush — the
+  /// streaming path's record-buffer high-water mark. Never exceeds
+  /// chunk_records (tests assert the bound).
+  [[nodiscard]] std::size_t stream_peak_pending() const {
+    return stream_peak_;
+  }
+
   /// Attach an observability context (nullptr = off, the default). The
   /// collector then feeds the io.*/mpi.*/trace.* metrics and, when
   /// tracing is on, emits one per-rank span per captured record.
@@ -164,6 +195,18 @@ class Collector {
   /// Drain every arena into bundle_.records in global emission order.
   void flush();
 
+  /// Hand every pending record (in emission order) to the stream sink.
+  void flush_stream();
+
+  /// Streaming bookkeeping for one emitted record: tally the per-rank
+  /// Posix count and flush once a chunk's worth of records is pending.
+  void note_stream(const Record& r) {
+    if (r.layer == Layer::Posix) {
+      ++rank_posix_counts_[static_cast<std::size_t>(r.rank)];
+    }
+    if (total_records_ - stream_consumed_ >= stream_chunk_) flush_stream();
+  }
+
   /// Observability slow path for one emitted record (global timestamps;
   /// called only when obs_ != nullptr, before clock conversion).
   void note_obs(const Record& r);
@@ -178,6 +221,16 @@ class Collector {
   CaptureMode mode_;
   /// Observability (off = nullptr; one branch per emit).
   obs::Run* obs_ = nullptr;
+  /// Streaming capture (off = nullptr; one branch per emit).
+  StreamSink* stream_sink_ = nullptr;
+  std::size_t stream_chunk_ = 0;
+  /// Records already handed to the sink; pending = total - consumed.
+  std::uint64_t stream_consumed_ = 0;
+  std::size_t stream_peak_ = 0;
+  /// Scratch the fast path scatters each chunk into (reused across
+  /// flushes, so its capacity is the chunk size, not the run size).
+  std::vector<Record> stream_scratch_;
+  std::vector<std::uint64_t> rank_posix_counts_;
 };
 
 }  // namespace pfsem::trace

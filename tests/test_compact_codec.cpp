@@ -10,13 +10,17 @@
 
 #include <cstdint>
 #include <cstring>
+#include <iterator>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "pfsem/core/conflict.hpp"
 #include "pfsem/core/offset_tracker.hpp"
 #include "pfsem/trace/serialize.hpp"
+#include "pfsem/trace/spill.hpp"
 #include "pfsem/util/error.hpp"
 
 namespace pfsem::trace {
@@ -304,6 +308,150 @@ TEST(SerializationCompat, V2PathTableFixtureAnalysesIdentically) {
   EXPECT_EQ(loaded.records[1].file, kNoFile);
   EXPECT_EQ(analysis_fingerprint(loaded),
             analysis_fingerprint(reference_bundle()));
+}
+
+// --- chunked streaming framing (PFSEMCK1) ------------------------------
+
+/// Byte-for-byte what the chunk writer produces for reference_bundle()
+/// split into two 3-record chunks: pinned independently so the on-disk
+/// framing can never drift without this fixture failing. Unlike compact
+/// v2, the chunk encoding needs no synthesized empty path slot — the
+/// file field is 0 for kNoFile, id+1 otherwise.
+std::string chunk_fixture() {
+  std::string s("PFSEMCK1", 8);
+  put_varint(s, 2);  // nranks
+  std::int64_t prev[2] = {0, 0};
+  const auto rec = [&](std::int64_t t0, std::int64_t t1, Rank rank, Func func,
+                       std::int64_t fd, std::int64_t ret, std::uint64_t off,
+                       std::uint64_t count, std::int64_t flags,
+                       std::uint64_t file_plus_1) {
+    put_varint(s, static_cast<std::uint64_t>(rank));
+    put_varint(s, zz(t0 - prev[rank]));
+    put_varint(s, zz(t1 - t0));
+    prev[rank] = t0;
+    put_varint(s, 0 | (6u << 3) |
+                      (static_cast<std::uint64_t>(func) << 6));  // Posix/App
+    put_varint(s, zz(fd));
+    put_varint(s, zz(ret));
+    put_varint(s, off);
+    put_varint(s, count);
+    put_varint(s, zz(flags));
+    put_varint(s, file_plus_1);
+  };
+  s.push_back('C');  // chunk at seq 0, 3 records (rank 0's)
+  put_varint(s, 0);
+  put_varint(s, 3);
+  rec(100, 105, 0, Func::open, 3, 3, 0, 0, kCreate | kRdWr, 1);
+  rec(110, 120, 0, Func::pwrite, 3, 100, 0, 100, 0, 0);
+  rec(130, 131, 0, Func::close, 3, 0, 0, 0, 0, 0);
+  s.push_back('C');  // chunk at seq 3, 3 records (rank 1's)
+  put_varint(s, 3);
+  put_varint(s, 3);
+  rec(200, 205, 1, Func::open, 3, 3, 0, 0, kRdWr, 1);
+  rec(210, 220, 1, Func::pread, 3, 100, 0, 100, 0, 0);
+  rec(230, 231, 1, Func::close, 3, 0, 0, 0, 0, 0);
+  s.push_back('T');  // trailer: 6 records, one path, empty comm log
+  put_varint(s, 6);
+  put_varint(s, 1);
+  put_varint(s, 6);
+  s += "shared";
+  put_varint(s, 0);  // p2p
+  put_varint(s, 0);  // collectives
+  return s;
+}
+
+/// Drain a chunk stream back into a TraceBundle (records + trailer).
+TraceBundle decode_chunks(const std::string& bytes) {
+  std::istringstream is(bytes);
+  ChunkReader reader(is);
+  TraceBundle b;
+  b.nranks = reader.nranks();
+  Record rec;
+  while (reader.next(rec)) b.records.push_back(rec);
+  auto trailer = reader.read_trailer();
+  b.paths = std::move(trailer.paths);
+  b.comm = std::move(trailer.comm);
+  return b;
+}
+
+TEST(ChunkStream, WriterMatchesHandCraftedFixtureExactly) {
+  const auto b = reference_bundle();
+  SpillStore store(1u << 20);
+  {
+    ChunkWriter writer(store, b.nranks);
+    writer.on_records(0, std::span<const Record>(b.records).subspan(0, 3));
+    writer.on_records(3, std::span<const Record>(b.records).subspan(3, 3));
+    StreamMeta meta;
+    meta.nranks = b.nranks;
+    meta.paths = b.paths;
+    meta.records = 6;
+    writer.finish(meta);
+  }
+  const auto in = store.open_read();
+  const std::string written(std::istreambuf_iterator<char>(*in), {});
+  ASSERT_EQ(written, chunk_fixture());
+}
+
+TEST(ChunkStream, FixtureDecodesAndAnalysesIdentically) {
+  const auto loaded = decode_chunks(chunk_fixture());
+  ASSERT_EQ(loaded.records.size(), 6u);
+  EXPECT_EQ(loaded.path_of(loaded.records[0]), "shared");
+  EXPECT_EQ(loaded.records[1].file, kNoFile);
+  EXPECT_EQ(analysis_fingerprint(loaded),
+            analysis_fingerprint(reference_bundle()));
+}
+
+TEST(ChunkStream, EveryTruncationThrows) {
+  const std::string full = chunk_fixture();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_THROW((void)decode_chunks(full.substr(0, len)), Error)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ChunkStream, EmptyChunkTolerated) {
+  // A zero-record chunk is valid framing (the writer skips them, but a
+  // reader must not choke on one): splice 'C' <seq> <0> between chunks.
+  const std::string full = chunk_fixture();
+  const auto second = full.find('C', full.find('C', 8) + 1);
+  ASSERT_NE(second, std::string::npos);
+  std::string spliced = full.substr(0, second);
+  spliced.push_back('C');
+  put_varint(spliced, 3);  // base_seq continues the count
+  put_varint(spliced, 0);  // zero records
+  spliced += full.substr(second);
+  EXPECT_EQ(analysis_fingerprint(decode_chunks(spliced)),
+            analysis_fingerprint(reference_bundle()));
+}
+
+TEST(ChunkStream, OutOfOrderChunkRejected) {
+  // A chunk whose base_seq does not continue the stream means a lost or
+  // reordered chunk; the reader must fail loudly, not mis-merge.
+  std::string s("PFSEMCK1", 8);
+  put_varint(s, 2);  // nranks
+  s.push_back('C');
+  put_varint(s, 4);  // base_seq 4 in a stream that has seen 0 records
+  put_varint(s, 1);
+  EXPECT_THROW((void)decode_chunks(s), Error);
+}
+
+TEST(ChunkStream, BadMagicRejected) {
+  std::string s("PFSEMCKX", 8);
+  put_varint(s, 2);
+  EXPECT_THROW((void)decode_chunks(s), Error);
+}
+
+TEST(ChunkStream, TrailerRecordCountMismatchRejected) {
+  // Trailer claiming more records than the chunks carried: a truncated
+  // middle (whole missing chunk) that per-chunk checks cannot see.
+  std::string s = chunk_fixture();
+  const auto t = s.rfind('T');
+  ASSERT_NE(t, std::string::npos);
+  std::string bad = s.substr(0, t);
+  bad.push_back('T');
+  put_varint(bad, 9);  // stream carried 6
+  bad += s.substr(t + 2);
+  EXPECT_THROW((void)decode_chunks(bad), Error);
 }
 
 }  // namespace
